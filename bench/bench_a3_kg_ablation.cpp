@@ -1,0 +1,96 @@
+// A3 — knowledge-graph quality ablation.
+//
+// The graph is the LLM's work product; how robust is iTask to a worse LLM?
+// One trained quantized model is reused for every cell (the graph only
+// affects matching, not the weights), while the oracle's noise / edge-drop /
+// spurious-edge knobs degrade the graph. Regenerates the noise-sweep figure.
+#include "bench/bench_util.h"
+
+using namespace itask;
+
+int main() {
+  bench::print_header("A3 (figure): detection accuracy vs knowledge-graph "
+                      "quality",
+                      "robustness to imperfect LLM graph generation");
+
+  core::FrameworkOptions options = bench::experiment_options(42);
+  core::Framework fw(options);
+  std::printf("pretraining teacher + quantized multi-task model…\n");
+  fw.pretrain_teacher();
+  fw.prepare_quantized();
+
+  const data::Dataset eval = bench::make_eval_set(options, 96, 661);
+  const int64_t task_ids[] = {1, 2, 6};
+
+  std::printf("\nweight-noise sweep (drop = 0, spurious = 0):\n");
+  std::printf("%8s | %10s\n", "noise", "mean F1");
+  for (float noise : {0.0f, 0.1f, 0.2f, 0.35f, 0.5f, 0.75f}) {
+    double f1 = 0.0;
+    int64_t count = 0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      core::FrameworkOptions noisy = options;
+      noisy.oracle.weight_noise = noise;
+      noisy.oracle.seed = seed;
+      core::Framework matcher_only(noisy);  // oracle host; no training needed
+      for (int64_t tid : task_ids) {
+        core::TaskHandle task =
+            matcher_only.define_task(data::task_by_id(tid));
+        // Evaluate with the *trained* framework but this (noisy) task graph.
+        f1 += fw.evaluate(eval, task, core::ConfigKind::kQuantizedMultiTask)
+                  .f1;
+        ++count;
+      }
+    }
+    std::printf("%8.2f | %10.3f\n", noise, f1 / static_cast<double>(count));
+  }
+
+  std::printf("\nedge-drop sweep (noise = 0.1):\n");
+  std::printf("%8s | %10s\n", "drop", "mean F1");
+  for (float drop : {0.0f, 0.1f, 0.2f, 0.4f, 0.6f}) {
+    double f1 = 0.0;
+    int64_t count = 0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      core::FrameworkOptions noisy = options;
+      noisy.oracle.weight_noise = 0.1f;
+      noisy.oracle.drop_probability = drop;
+      noisy.oracle.seed = seed;
+      core::Framework matcher_only(noisy);
+      for (int64_t tid : task_ids) {
+        core::TaskHandle task =
+            matcher_only.define_task(data::task_by_id(tid));
+        f1 += fw.evaluate(eval, task, core::ConfigKind::kQuantizedMultiTask)
+                  .f1;
+        ++count;
+      }
+    }
+    std::printf("%8.2f | %10.3f\n", drop, f1 / static_cast<double>(count));
+  }
+
+  std::printf("\nspurious-edge sweep (noise = 0.1, drop = 0):\n");
+  std::printf("%8s | %10s\n", "spurious", "mean F1");
+  for (float spurious : {0.0f, 0.2f, 0.4f, 0.8f}) {
+    double f1 = 0.0;
+    int64_t count = 0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      core::FrameworkOptions noisy = options;
+      noisy.oracle.weight_noise = 0.1f;
+      noisy.oracle.spurious_probability = spurious;
+      noisy.oracle.seed = seed;
+      core::Framework matcher_only(noisy);
+      for (int64_t tid : task_ids) {
+        core::TaskHandle task =
+            matcher_only.define_task(data::task_by_id(tid));
+        f1 += fw.evaluate(eval, task, core::ConfigKind::kQuantizedMultiTask)
+                  .f1;
+        ++count;
+      }
+    }
+    std::printf("%8.2f | %10.3f\n", spurious,
+                f1 / static_cast<double>(count));
+  }
+  bench::print_footer_note(
+      "shape: graceful degradation — mild LLM noise (≤0.2) barely moves F1 "
+      "(thresholds absorb it); heavy edge dropping hurts most because "
+      "required attributes vanish from the graph.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// A4 — low-bit quantization + quantization-aware fine-tuning (extension).
+//
+// The abstract stops at "a quantized version of the model"; the natural
+// follow-on for resource-constrained deployment is pushing below INT8.
+// This bench sweeps weight bit width {8, 6, 4} with (a) plain post-training
+// quantization and (b) QAT fine-tuning (straight-through estimator on the
+// master weights), reporting task F1 through the knowledge-graph path and
+// the model footprint at each point.
+#include "bench/bench_util.h"
+#include "quant/qat.h"
+
+using namespace itask;
+
+int main() {
+  bench::print_header("A4 (table): low-bit quantization and QAT (extension)",
+                      "PTQ collapses below INT8; QAT recovers most of it");
+
+  core::FrameworkOptions options = bench::experiment_options(42);
+  core::Framework fw(options);
+  std::printf("pretraining teacher + FP32 multi-task student…\n");
+  fw.pretrain_teacher();
+  fw.prepare_quantized();
+  vit::VitModel& fp32 = fw.multitask_student();
+
+  const data::Dataset eval = bench::make_eval_set(options, 96, 60221);
+  Rng rng(2718);
+  const data::SceneGenerator gen(options.generator);
+  const data::Dataset calib =
+      data::Dataset::generate(gen, options.calibration_scenes, rng);
+  const Tensor calib_images = calib.make_batch(calib.all_indices()).images;
+  const data::Dataset qat_corpus = data::Dataset::generate(gen, 160, rng);
+
+  const int64_t task_ids[] = {1, 2, 6};
+  std::vector<core::TaskHandle> tasks;
+  for (int64_t tid : task_ids)
+    tasks.push_back(fw.define_task(data::task_by_id(tid)));
+
+  auto mean_f1 = [&](auto&& forward) {
+    double sum = 0.0;
+    for (const auto& task : tasks)
+      sum += bench::evaluate_kg_path(forward, options, eval, task).f1;
+    return sum / static_cast<double>(tasks.size());
+  };
+
+  fp32.set_training(false);
+  const double fp32_f1 =
+      mean_f1([&](const Tensor& img) { return fp32.forward(img); });
+  std::printf("\nFP32 reference mean F1: %.3f (%.3f MB)\n\n", fp32_f1,
+              static_cast<double>(fp32.parameter_count()) * 4.0 /
+                  (1024.0 * 1024.0));
+
+  std::printf("%6s | %10s | %10s | %12s\n", "bits", "PTQ F1", "QAT F1",
+              "weights(KB)");
+  for (int bits : {8, 6, 4}) {
+    quant::QuantOptions qopt;
+    qopt.weight_bits = bits;
+
+    // (a) plain PTQ of the trained FP32 model.
+    double ptq_f1;
+    double weight_kb;
+    {
+      quant::QuantizedVit qvit = quant::QuantizedVit::from_model(fp32, qopt);
+      qvit.calibrate(calib_images);
+      qvit.finalize();
+      ptq_f1 = mean_f1([&](const Tensor& img) { return qvit.forward(img); });
+      // Effective footprint: bits/8 of the int8 container.
+      weight_kb = static_cast<double>(qvit.quantized_weight_bytes()) *
+                  (static_cast<double>(bits) / 8.0) / 1024.0;
+    }
+
+    // (b) QAT: fine-tune a copy of the model on the target grid, then PTQ.
+    double qat_f1;
+    {
+      Rng clone_rng(1);
+      vit::VitModel tuned(fp32.config(), clone_rng);
+      tuned.load_state_dict(fp32.state_dict());
+      quant::QatOptions qat;
+      qat.quant = qopt;
+      qat.epochs = 8;
+      quant::qat_finetune(tuned, qat_corpus, qat);
+      quant::QuantizedVit qvit = quant::QuantizedVit::from_model(tuned, qopt);
+      qvit.calibrate(calib_images);
+      qvit.finalize();
+      qat_f1 = mean_f1([&](const Tensor& img) { return qvit.forward(img); });
+    }
+
+    std::printf("%6d | %10.3f | %10.3f | %12.1f\n", bits, ptq_f1, qat_f1,
+                weight_kb);
+  }
+  bench::print_footer_note(
+      "shape: INT8/INT6 PTQ is free; INT4 PTQ degrades sharply and QAT "
+      "recovers the gap at a 2x smaller footprint. Caveat: QAT rows include "
+      "its extra fine-tuning epochs, which also lift the 8-bit point — "
+      "compare QAT rows against each other and PTQ rows against FP32.");
+  return 0;
+}

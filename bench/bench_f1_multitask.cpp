@@ -1,0 +1,80 @@
+// F1 — "the quantized model provides robust multi-task performance".
+//
+// Regenerates the multi-task robustness figure: deploy ONE model and ask it
+// to serve every task.
+//  * A task-specific student distilled for task 0 collapses off-mission (its
+//    relevance head answers the wrong question).
+//  * The quantized multi-task model keeps working: relevance comes from
+//    knowledge-graph matching, so a new task only needs a new graph.
+// Also prints the per-task-count mean-accuracy series (the figure's x-axis)
+// and the memory cost of the alternative "one student per task" fleet.
+#include "bench/bench_util.h"
+
+using namespace itask;
+
+int main() {
+  bench::print_header(
+      "F1 (figure): accuracy vs number of served tasks",
+      "claim: quantized configuration is robust across tasks");
+
+  core::FrameworkOptions options = bench::experiment_options(42);
+  core::Framework fw(options);
+  std::printf("pretraining teacher…\n");
+  fw.pretrain_teacher();
+  fw.prepare_quantized();
+
+  const data::Dataset eval = bench::make_eval_set(options, 96, 31415);
+  const auto& library = data::task_library();
+
+  // The single task-specific deployment: a student distilled for the
+  // surgical_sharps mission (a representative strong task-specific case).
+  constexpr size_t kHome = 1;
+  core::TaskHandle home_task = fw.define_task(library[kHome]);
+  std::printf("distilling task-specific student for \"%s\"…\n\n",
+              library[kHome].name.c_str());
+  fw.prepare_task_specific(home_task);
+  // Figure series order: home task first, then the rest.
+  std::vector<size_t> order{kHome};
+  for (size_t i = 0; i < library.size(); ++i)
+    if (i != kHome) order.push_back(i);
+
+  std::printf("%-20s | %12s | %12s\n", "evaluated on task",
+              "TS(home) F1", "quantized F1");
+  std::printf("---------------------+--------------+-------------\n");
+  std::vector<double> ts_f1, q_f1;
+  for (size_t oi : order) {
+    const data::TaskSpec& spec = library[oi];
+    // Evaluate the task-0 student ON this task: same weights, but the
+    // relevance decision (and ground truth) belong to the new task.
+    core::TaskHandle probe = fw.define_task(spec);
+    probe.slot = home_task.slot;  // reuse the task-0 student's weights
+    const auto ts = fw.evaluate(eval, probe, core::ConfigKind::kTaskSpecific);
+    const auto q =
+        fw.evaluate(eval, probe, core::ConfigKind::kQuantizedMultiTask);
+    ts_f1.push_back(ts.f1);
+    q_f1.push_back(q.f1);
+    std::printf("%-20s | %12.3f | %12.3f%s\n", spec.name.c_str(), ts.f1, q.f1,
+                oi == kHome ? "  <-- TS home task" : "");
+  }
+
+  std::printf("\nfigure series: mean accuracy when serving tasks 0..k-1 with "
+              "one deployed model\n");
+  std::printf("%8s | %16s | %16s\n", "k tasks", "task-specific", "quantized");
+  double ts_acc = 0.0, q_acc = 0.0;
+  for (size_t k = 1; k <= library.size(); ++k) {
+    ts_acc += ts_f1[k - 1];
+    q_acc += q_f1[k - 1];
+    std::printf("%8zu | %16.3f | %16.3f\n", k, ts_acc / static_cast<double>(k),
+                q_acc / static_cast<double>(k));
+  }
+  std::printf("\nalternative fleet cost: %zu task-specific students = %.3f MB "
+              "vs one quantized model = %.3f MB\n",
+              library.size(),
+              fw.task_specific_model_mb() * static_cast<double>(library.size()),
+              fw.quantized_model_mb());
+  bench::print_footer_note(
+      "shape: TS curve starts above Q at k=1 and collapses as off-mission "
+      "tasks dilute it; Q stays flat — the crossover motivates the dual "
+      "configuration.");
+  return 0;
+}

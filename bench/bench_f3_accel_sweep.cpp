@@ -1,0 +1,94 @@
+// F3 — real-time feasibility and the accelerator design space.
+//
+// Regenerates the architecture-sweep figure: PE-array size vs latency /
+// FPS / utilization / dynamic energy for the deployed student workload, a
+// per-layer cycle breakdown at the chosen design point, and two ablations
+// called out in DESIGN.md §6 (double buffering, SRAM weight residency).
+#include <benchmark/benchmark.h>
+
+#include "accel/systolic.h"
+#include "bench/bench_util.h"
+
+using namespace itask;
+
+namespace {
+
+void print_table() {
+  bench::print_header("F3 (figure): accelerator design-space sweep",
+                      "real-time feasibility across PE-array sizes");
+  const auto w = vit::build_workload(vit::ViTConfig::student(), 1, "student");
+  std::printf("workload: %.2f MMACs, %lld ops, %lld B INT8 weights\n\n",
+              static_cast<double>(w.total_macs()) / 1e6,
+              static_cast<long long>(w.kernel_count()),
+              static_cast<long long>(w.total_weight_bytes_int8()));
+
+  std::printf("%8s | %11s %9s %8s %12s %9s %10s\n", "PE grid",
+              "latency(us)", "FPS", "util%", "dyn E (uJ)", "area mm2",
+              "FPS/mm2");
+  for (int64_t pe : {4, 8, 16, 32, 64}) {
+    accel::SystolicConfig cfg;
+    cfg.rows = pe;
+    cfg.cols = pe;
+    const auto r = accel::SystolicArray(cfg).run(w, 10.0);
+    double macs = 0.0, cycles = 0.0;
+    for (const auto& l : r.layers) {
+      macs += static_cast<double>(l.macs);
+      cycles += static_cast<double>(l.cycles);
+    }
+    const double util =
+        macs / (cycles * static_cast<double>(cfg.pe_count()));
+    std::printf("%5lldx%-2lld | %11.1f %9.0f %8.1f %12.3f %9.3f %10.0f\n",
+                static_cast<long long>(pe), static_cast<long long>(pe),
+                r.total_micros, r.fps_capability, 100.0 * util,
+                r.dynamic_energy_uj, cfg.area_mm2(),
+                r.fps_capability / cfg.area_mm2());
+  }
+
+  std::printf("\nablation: double buffering (16x16)\n");
+  for (bool db : {false, true}) {
+    accel::SystolicConfig cfg;
+    cfg.double_buffered = db;
+    const auto r = accel::SystolicArray(cfg).run(w, 10.0);
+    std::printf("  double_buffered=%d : %8.1f us (%.0f FPS)\n", db ? 1 : 0,
+                r.total_micros, r.fps_capability);
+  }
+
+  std::printf("\nablation: SRAM weight residency (16x16)\n");
+  for (bool resident : {true, false}) {
+    accel::SystolicConfig cfg;
+    cfg.weights_resident = resident;
+    const auto r = accel::SystolicArray(cfg).run(w, 10.0);
+    int64_t dram = 0;
+    for (const auto& l : r.layers) dram += l.dram_bytes;
+    std::printf("  weights_resident=%d : %8.1f us, %6lld B DRAM/frame, "
+                "%8.3f uJ\n",
+                resident ? 1 : 0, r.total_micros,
+                static_cast<long long>(dram), r.dynamic_energy_uj);
+  }
+
+  std::printf("\nper-layer breakdown at the 16x16 design point:\n");
+  std::printf("%s", accel::SystolicArray().run(w, 10.0).to_table().c_str());
+  bench::print_footer_note(
+      "shape: latency scales down with PE count until fill/drain overhead "
+      "dominates (falling utilization); FPS/mm2 peaks at small-to-mid "
+      "arrays — 16x16 is the latency/area knee used for T2/T3.");
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  const auto w = vit::build_workload(vit::ViTConfig::student(), 1);
+  accel::SystolicConfig cfg;
+  cfg.rows = cfg.cols = state.range(0);
+  const accel::SystolicArray array(cfg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(array.run(w, 10.0).total_micros);
+}
+BENCHMARK(BM_SweepPoint)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// F4 — multi-task serving latency (extension).
+//
+// The run-time half of the dual-configuration trade-off: a frame stream
+// whose mission changes with probability p per frame, served on the
+// accelerator either by a fleet of per-task students (weight swap over DMA
+// on every change) or by the single quantized model (graph-vector swap
+// only). Regenerates the serving-latency figure.
+#include "bench/bench_util.h"
+#include "core/serving.h"
+
+using namespace itask;
+
+int main() {
+  bench::print_header(
+      "F4 (figure): serving latency under mission switching (extension)",
+      "the quantized configuration is switch-cost-free");
+
+  core::ServingOptions base;
+  base.frames = 20000;
+  std::printf("model: %s; accelerator: %lldx%lld @ %.0f MHz, DMA %.1f GB/s\n"
+              "steady-state inference: %.1f us/frame\n\n",
+              base.model.to_string().c_str(),
+              static_cast<long long>(base.accelerator.rows),
+              static_cast<long long>(base.accelerator.cols),
+              base.accelerator.freq_mhz, base.accelerator.dram_bw_gbps,
+              core::simulate_serving(core::ServingStrategy::kQuantizedSingle,
+                                     base)
+                  .inference_us);
+
+  std::printf("switch-rate sweep (4 tasks):\n");
+  std::printf("%8s | %21s | %21s\n", "p", "fleet mean/p99 (us)",
+              "single mean/p99 (us)");
+  for (double p : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    core::ServingOptions o = base;
+    o.task_switch_probability = p;
+    const auto fleet = core::simulate_serving(
+        core::ServingStrategy::kTaskSpecificFleet, o);
+    const auto single = core::simulate_serving(
+        core::ServingStrategy::kQuantizedSingle, o);
+    std::printf("%8.2f | %9.1f / %9.1f | %9.1f / %9.1f\n", p,
+                fleet.mean_latency_us, fleet.p99_latency_us,
+                single.mean_latency_us, single.p99_latency_us);
+  }
+
+  std::printf("\ntask-count sweep (p = 0.25):\n");
+  std::printf("%8s | %12s | %12s | %10s\n", "tasks", "fleet fps",
+              "single fps", "fleet swap");
+  for (int64_t tasks : {1, 2, 4, 8, 16}) {
+    core::ServingOptions o = base;
+    o.num_tasks = tasks;
+    o.task_switch_probability = 0.25;
+    const auto fleet = core::simulate_serving(
+        core::ServingStrategy::kTaskSpecificFleet, o);
+    const auto single = core::simulate_serving(
+        core::ServingStrategy::kQuantizedSingle, o);
+    std::printf("%8lld | %12.0f | %12.0f | %7.1f us\n",
+                static_cast<long long>(tasks), fleet.effective_fps,
+                single.effective_fps, fleet.swap_us);
+  }
+  bench::print_footer_note(
+      "shape: the fleet's p99 latency inflates with the switch rate (weight "
+      "DMA rides the critical path) while the single quantized model's "
+      "latency is flat — at edge DMA bandwidths, mission agility is a "
+      "quantized-configuration property.");
+  return 0;
+}

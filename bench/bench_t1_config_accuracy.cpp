@@ -1,0 +1,62 @@
+// T1 — "the task-specific configuration achieves a ~15% higher accuracy over
+// the quantized configuration in specific scenarios".
+//
+// Regenerates the dual-configuration accuracy table: for each of the eight
+// library tasks, the distilled task-specific student (FP32, relevance head)
+// vs the single INT8 quantized multi-task model (knowledge-graph matching).
+// Both configurations share the same compact ViT architecture.
+#include "bench/bench_util.h"
+
+using namespace itask;
+
+int main() {
+  bench::print_header(
+      "T1 (table): dual-configuration accuracy per task",
+      "claim: task-specific ≈ +15% accuracy on its own task");
+
+  core::FrameworkOptions options = bench::experiment_options(42);
+  core::Framework fw(options);
+  std::printf("teacher: %s\nstudent: %s\n",
+              options.teacher_config.to_string().c_str(),
+              options.student_config.to_string().c_str());
+  std::printf("pretraining teacher on %lld scenes…\n",
+              static_cast<long long>(options.corpus_size));
+  fw.pretrain_teacher();
+  std::printf("building INT8 multi-task configuration…\n");
+  fw.prepare_quantized();
+
+  const data::Dataset eval = bench::make_eval_set(options, 128, 20260707);
+
+  std::printf("\n%-20s | %7s %7s %7s | %7s %7s %7s | %8s\n", "task", "TS-F1",
+              "TS-AP", "TS-R", "Q-F1", "Q-AP", "Q-R", "F1 gap");
+  std::printf("%.20s-+-%.23s-+-%.23s-+-%.8s\n",
+              "--------------------", "-----------------------",
+              "-----------------------", "--------");
+  double ts_sum = 0.0, q_sum = 0.0;
+  const auto& library = data::task_library();
+  for (const data::TaskSpec& spec : library) {
+    core::TaskHandle task = fw.define_task(spec);
+    fw.prepare_task_specific(task);
+    const auto ts = fw.evaluate(eval, task, core::ConfigKind::kTaskSpecific);
+    const auto q =
+        fw.evaluate(eval, task, core::ConfigKind::kQuantizedMultiTask);
+    ts_sum += ts.f1;
+    q_sum += q.f1;
+    std::printf("%-20s | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f | %+8.3f\n",
+                spec.name.c_str(), ts.f1, ts.average_precision, ts.recall,
+                q.f1, q.average_precision, q.recall, ts.f1 - q.f1);
+  }
+  const double n = static_cast<double>(library.size());
+  std::printf("%.20s-+-%.23s-+-%.23s-+-%.8s\n",
+              "--------------------", "-----------------------",
+              "-----------------------", "--------");
+  std::printf("%-20s | %7.3f %15s | %7.3f %15s | %+8.3f\n", "MEAN",
+              ts_sum / n, "", q_sum / n, "", (ts_sum - q_sum) / n);
+  std::printf("\nmodel footprints: task-specific %.3f MB/task (FP32) vs "
+              "quantized %.3f MB total (INT8)\n",
+              fw.task_specific_model_mb(), fw.quantized_model_mb());
+  bench::print_footer_note(
+      "paper claim shape: TS beats Q by ~0.10-0.20 mean F1 on its own task; "
+      "per-task variance is expected ('in specific scenarios').");
+  return 0;
+}

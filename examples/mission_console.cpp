@@ -1,0 +1,127 @@
+// Mission console — a small command-line front end over the framework,
+// the shape a downstream user would actually operate:
+//
+//   mission_console prepare <deployment-dir>
+//       trains teacher + quantized multi-task model and persists them.
+//   mission_console detect <deployment-dir> "<mission text>" [frames] [outdir]
+//       restores the deployment, compiles the mission text into a knowledge
+//       graph, runs detection over synthetic frames, writes annotated PPM
+//       images, and prints a report.
+//
+// Run without arguments for a self-contained demo (prepare + detect into
+// /tmp/itask_console).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/itask.h"
+#include "detect/ascii.h"
+#include "detect/ppm.h"
+
+using namespace itask;
+
+namespace {
+
+core::FrameworkOptions console_options() {
+  core::FrameworkOptions o;
+  o.corpus_size = 512;
+  o.teacher_training.epochs = 20;
+  o.multitask_distillation.epochs = 24;
+  o.seed = 29;
+  return o;
+}
+
+int cmd_prepare(const std::string& dir) {
+  std::printf("[prepare] training deployment into %s …\n", dir.c_str());
+  core::Framework fw(console_options());
+  fw.pretrain_teacher();
+  fw.prepare_quantized();
+  fw.save_deployment(dir);
+  std::printf("[prepare] saved: teacher + INT8 multi-task model "
+              "(%.3f MB quantized)\n",
+              fw.quantized_model_mb());
+  return 0;
+}
+
+int cmd_detect(const std::string& dir, const std::string& mission,
+               int64_t frames, const std::string& outdir) {
+  std::printf("[detect] restoring deployment from %s …\n", dir.c_str());
+  core::Framework fw(console_options());
+  fw.load_deployment(dir);
+  ITASK_CHECK(fw.quantized_ready(),
+              "deployment has no quantized model; run `prepare` first");
+
+  std::printf("[detect] mission: \"%s\"\n", mission.c_str());
+  core::TaskHandle task = fw.define_task_from_text(mission);
+  std::printf("[detect] compiled graph: %lld nodes, threshold %.2f\n",
+              static_cast<long long>(task.graph.node_count()),
+              task.compiled.threshold);
+
+  std::filesystem::create_directories(outdir);
+  Rng rng(13);
+  const data::SceneGenerator gen(fw.options().generator);
+  int64_t total = 0;
+  for (int64_t f = 0; f < frames; ++f) {
+    const data::Scene scene = gen.generate(rng);
+    const auto dets =
+        fw.detect(scene.image, task, core::ConfigKind::kQuantizedMultiTask);
+    total += static_cast<int64_t>(dets.size());
+    const std::string path =
+        (std::filesystem::path(outdir) /
+         ("frame_" + std::to_string(f) + ".ppm"))
+            .string();
+    detect::save_ppm_with_detections(scene.image, dets, path);
+    std::printf("frame %lld: %zu detection(s) -> %s\n",
+                static_cast<long long>(f), dets.size(), path.c_str());
+    for (const auto& d : dets)
+      std::printf("   %s\n", detect::describe(d).c_str());
+  }
+  std::printf("[detect] %lld detection(s) over %lld frame(s)\n",
+              static_cast<long long>(total), static_cast<long long>(frames));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mission_console prepare <deployment-dir>\n"
+               "  mission_console detect <deployment-dir> \"<mission text>\" "
+               "[frames] [outdir]\n"
+               "  mission_console            (self-contained demo)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 1) {
+      // Demo: prepare once (cached across runs), then detect.
+      const std::string dir = "/tmp/itask_console";
+      if (!std::filesystem::exists(
+              std::filesystem::path(dir) / "manifest.txt")) {
+        const int rc = cmd_prepare(dir);
+        if (rc != 0) return rc;
+      } else {
+        std::printf("[demo] reusing existing deployment at %s\n",
+                    dir.c_str());
+      }
+      return cmd_detect(dir,
+                        "Find sharp metallic surgical instruments on the "
+                        "tray before closing.",
+                        3, "/tmp/itask_console/frames");
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "prepare" && argc == 3) return cmd_prepare(argv[2]);
+    if (cmd == "detect" && (argc == 4 || argc == 5 || argc == 6)) {
+      const int64_t frames = argc >= 5 ? std::atoll(argv[4]) : 4;
+      const std::string outdir = argc == 6 ? argv[5] : "itask_frames";
+      return cmd_detect(argv[2], argv[3], frames, outdir);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mission_console: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+// Situational adaptability (the paper's claim 4): the same framework serves
+// a deployment whose requirements change — starting as a single
+// accuracy-critical mission, then growing into a many-mission deployment
+// under a memory budget. The example shows the policy switching
+// configurations and quantifies what each choice buys.
+#include <cstdio>
+
+#include "core/itask.h"
+
+using namespace itask;
+
+namespace {
+
+void report(const char* phase, const core::PolicyDecision& decision) {
+  std::printf("%s\n  -> %s\n  rationale: %s\n\n", phase,
+              core::config_kind_name(decision.config),
+              decision.rationale.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== iTask: situational adaptability ==\n\n");
+
+  core::FrameworkOptions options;
+  options.corpus_size = 512;
+  options.teacher_training.epochs = 20;
+  options.distillation.epochs = 20;
+  options.multitask_distillation.epochs = 24;
+  options.seed = 23;
+  core::Framework fw(options);
+  std::printf("[setup] pretraining teacher…\n\n");
+  fw.pretrain_teacher();
+
+  // ---- phase 1: one known, accuracy-critical mission --------------------
+  core::SituationProfile p1;
+  p1.expected_task_count = 1;
+  p1.tasks_known_ahead = true;
+  p1.accuracy_critical = true;
+  p1.memory_budget_mb = 4.0;
+  report("[phase 1] single known mission, accuracy-critical",
+         fw.choose_configuration(p1));
+
+  const data::TaskSpec& mission = data::task_by_id(1);  // surgical_sharps
+  core::TaskHandle task = fw.define_task(mission);
+  fw.prepare_task_specific(task);
+
+  Rng rng(97);
+  const data::SceneGenerator generator(options.generator);
+  const data::Dataset eval = data::Dataset::generate(generator, 96, rng);
+  const auto ts = fw.evaluate(eval, task, core::ConfigKind::kTaskSpecific);
+  std::printf("  task-specific F1 on \"%s\": %.3f "
+              "(%.3f MB FP32 student)\n\n",
+              mission.name.c_str(), ts.f1, fw.task_specific_model_mb());
+
+  // ---- phase 2: the deployment grows to 8 missions -----------------------
+  core::SituationProfile p2 = p1;
+  p2.expected_task_count = 8;
+  p2.accuracy_critical = false;
+  report("[phase 2] eight concurrent missions, 4 MB budget",
+         fw.choose_configuration(p2));
+
+  fw.prepare_quantized();
+  std::printf("  one INT8 model (%.3f MB) now serves every mission via "
+              "knowledge-graph matching:\n",
+              fw.quantized_model_mb());
+  double mean_q = 0.0;
+  for (const data::TaskSpec& spec : data::task_library()) {
+    core::TaskHandle t = fw.define_task(spec);
+    const auto q =
+        fw.evaluate(eval, t, core::ConfigKind::kQuantizedMultiTask);
+    mean_q += q.f1;
+    std::printf("    %-20s F1 %.3f\n", spec.name.c_str(), q.f1);
+  }
+  mean_q /= static_cast<double>(data::task_library().size());
+  std::printf("  mean multi-task F1: %.3f\n\n", mean_q);
+
+  // ---- phase 3: missions not known ahead of time ------------------------
+  core::SituationProfile p3;
+  p3.tasks_known_ahead = false;
+  report("[phase 3] missions arrive at run time",
+         fw.choose_configuration(p3));
+  core::TaskHandle surprise = fw.define_task_from_text(
+      "Track moving entities crossing the secured perimeter.");
+  const data::Scene frame = generator.generate(rng);
+  const auto dets = fw.detect(frame.image, surprise,
+                              core::ConfigKind::kQuantizedMultiTask);
+  std::printf("  surprise mission handled zero-shot: %zu detection(s) on the "
+              "first frame, no retraining.\n\n",
+              dets.size());
+
+  // ---- the trade in one line --------------------------------------------
+  std::printf("summary: specialised accuracy when the mission is fixed "
+              "(F1 %.3f), graceful breadth when it is not (mean F1 %.3f, "
+              "%.1fx smaller model) — the dual-configuration design.\n",
+              ts.f1, mean_q,
+              fw.task_specific_model_mb() / fw.quantized_model_mb());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Energy model: per-operation and per-byte energy tables plus system power.
+//
+// The absolute constants are representative public figures (Horowitz,
+// ISSCC'14 scaled to a modern edge node; Jetson-class GPU board numbers) —
+// the experiments (T2/T3) compare *ratios*, which derive from counted
+// operations, bytes, and cycles, not from these absolutes. Every constant is
+// a config field so the ablation benches can sweep them.
+#pragma once
+
+#include <cstdint>
+
+namespace itask::accel {
+
+/// Dynamic energy per primitive, in picojoules.
+struct EnergyTable {
+  double int8_mac_pj = 0.3;     // 8-bit multiply-accumulate in the PE array
+  double fp32_flop_pj = 4.6;    // FP32 op in a SIMT lane (datapath only)
+  double sram_byte_pj = 1.2;    // on-chip SRAM access per byte
+  double dram_byte_pj = 80.0;   // external DRAM access per byte
+  double vector_op_pj = 1.0;    // accelerator vector-unit op
+};
+
+/// System-level power for the energy-per-frame comparison (T3). Edge systems
+/// spend most of a frame period idle; integration (accelerator in the sensor
+/// SoC vs a discrete GPU board) chiefly shows up as idle power.
+struct SystemPower {
+  double idle_w = 1.0;    // board power while waiting for the next frame
+  double active_w = 1.0;  // *additional* power while computing
+};
+
+inline SystemPower gpu_system_power() { return {3.0, 7.0}; }
+inline SystemPower accelerator_system_power() { return {1.8, 0.6}; }
+
+}  // namespace itask::accel

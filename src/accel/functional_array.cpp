@@ -1,0 +1,99 @@
+#include "accel/functional_array.h"
+
+#include <algorithm>
+
+namespace itask::accel {
+
+FunctionalSystolicArray::FunctionalSystolicArray(FunctionalArrayConfig config)
+    : config_(config) {
+  ITASK_CHECK(config_.rows > 0 && config_.cols > 0,
+              "FunctionalSystolicArray: bad PE dimensions");
+}
+
+int64_t FunctionalSystolicArray::run_tile(
+    std::span<const int8_t> a, int32_t a_zero_point,
+    std::span<const int8_t> w, std::span<int32_t> acc, int64_t m, int64_t k,
+    int64_t n, int64_t k0, int64_t n0, int64_t kt, int64_t nt) const {
+  const int64_t rows = config_.rows;
+  const int64_t cols = config_.cols;
+  // Resident weight tile, zero-padded to the physical PE grid.
+  // PE(r, c) holds the weight connecting input dim (k0 + r) to output
+  // (n0 + c); weights are stored transposed as w[n][k].
+  std::vector<int32_t> pe_weight(static_cast<size_t>(rows * cols), 0);
+  for (int64_t r = 0; r < kt; ++r)
+    for (int64_t c = 0; c < nt; ++c)
+      pe_weight[static_cast<size_t>(r * cols + c)] =
+          static_cast<int32_t>(w[(n0 + c) * k + (k0 + r)]);
+
+  // Registers: activation (east-bound) and partial sum (south-bound).
+  std::vector<int32_t> a_reg(static_cast<size_t>(rows * cols), 0);
+  std::vector<int32_t> psum_reg(static_cast<size_t>(rows * cols), 0);
+  std::vector<int32_t> a_next(a_reg.size(), 0);
+  std::vector<int32_t> psum_next(psum_reg.size(), 0);
+
+  // One activation row per cycle enters the west edge, skewed one cycle per
+  // PE row; the last output drains after m + rows + cols - 2 cycles.
+  const int64_t total_cycles = m + rows + cols - 2;
+  for (int64_t t = 0; t < total_cycles; ++t) {
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        int32_t a_in;
+        if (c == 0) {
+          // West feed: row (t - r) of the activation matrix, element k0 + r.
+          const int64_t mi = t - r;
+          a_in = (mi >= 0 && mi < m && r < kt)
+                     ? static_cast<int32_t>(a[mi * k + (k0 + r)]) -
+                           a_zero_point
+                     : 0;
+        } else {
+          a_in = a_reg[static_cast<size_t>(r * cols + c - 1)];
+        }
+        const int32_t psum_in =
+            r == 0 ? 0 : psum_reg[static_cast<size_t>((r - 1) * cols + c)];
+        a_next[static_cast<size_t>(r * cols + c)] = a_in;
+        psum_next[static_cast<size_t>(r * cols + c)] =
+            psum_in + a_in * pe_weight[static_cast<size_t>(r * cols + c)];
+      }
+    }
+    a_reg.swap(a_next);
+    psum_reg.swap(psum_next);
+    // Drain: at the end of cycle t, column c's south register holds the
+    // finished dot product for activation row (t - (rows - 1) - c).
+    for (int64_t c = 0; c < nt; ++c) {
+      const int64_t mi = t - (rows - 1) - c;
+      if (mi >= 0 && mi < m) {
+        acc[mi * n + (n0 + c)] +=
+            psum_reg[static_cast<size_t>((rows - 1) * cols + c)];
+      }
+    }
+  }
+  return total_cycles;
+}
+
+FunctionalResult FunctionalSystolicArray::gemm_bt(std::span<const int8_t> a,
+                                                  int32_t a_zero_point,
+                                                  std::span<const int8_t> w,
+                                                  int64_t m, int64_t k,
+                                                  int64_t n) const {
+  ITASK_CHECK(static_cast<int64_t>(a.size()) == m * k,
+              "FunctionalSystolicArray: a size mismatch");
+  ITASK_CHECK(static_cast<int64_t>(w.size()) == n * k,
+              "FunctionalSystolicArray: w size mismatch");
+  FunctionalResult result;
+  result.acc.assign(static_cast<size_t>(m * n), 0);
+  const int64_t rows = config_.rows;
+  const int64_t cols = config_.cols;
+  for (int64_t k0 = 0; k0 < k; k0 += rows) {
+    const int64_t kt = std::min(rows, k - k0);
+    for (int64_t n0 = 0; n0 < n; n0 += cols) {
+      const int64_t nt = std::min(cols, n - n0);
+      result.cycles +=
+          run_tile(a, a_zero_point, w, result.acc, m, k, n, k0, n0, kt, nt);
+      result.weight_loads += rows * cols;
+      ++result.tiles;
+    }
+  }
+  return result;
+}
+
+}  // namespace itask::accel

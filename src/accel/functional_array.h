@@ -1,0 +1,66 @@
+// Functional (data-carrying) simulation of the weight-stationary systolic
+// array. Where SystolicArray (systolic.h) *counts* cycles analytically, this
+// model actually clocks INT8 operands through a PE grid register by
+// register, producing both the numeric result and an exact cycle count.
+//
+// Purpose (DESIGN.md §7): cross-validate the two simulators against each
+// other and against the plain int8_gemm kernel —
+//   * result(functional) == result(int8_gemm)            (numerics), and
+//   * cycles(functional) == compute model of systolic.h  (timing),
+// which is the strongest evidence short of RTL that the accelerator model
+// faithfully represents the dataflow the paper's circuit implements.
+//
+// Dataflow (output-stationary within a tile, weight-stationary across m):
+//   * a (rows × cols) weight tile W[kr][nc] is preloaded into the PEs;
+//   * activation rows stream in from the west, skewed one cycle per row so
+//     row r of the tile sees input element k=r with r cycles of delay;
+//   * partial sums accumulate along columns and drain south after the
+//     pipeline empties.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"  // ITASK_CHECK
+
+namespace itask::accel {
+
+struct FunctionalArrayConfig {
+  int64_t rows = 16;  // k dimension of the resident weight tile
+  int64_t cols = 16;  // n dimension of the resident weight tile
+};
+
+/// Result of one functionally simulated GEMM.
+struct FunctionalResult {
+  std::vector<int32_t> acc;   // [m, n] INT32 accumulators
+  int64_t cycles = 0;         // exact clocked cycles (compute only)
+  int64_t tiles = 0;
+  int64_t weight_loads = 0;   // PE register writes
+};
+
+/// Cycle-by-cycle weight-stationary PE grid.
+class FunctionalSystolicArray {
+ public:
+  explicit FunctionalSystolicArray(FunctionalArrayConfig config = {});
+
+  const FunctionalArrayConfig& config() const { return config_; }
+
+  /// Computes acc[m, n] = sum_k (a[m, k] - a_zero_point) * w[n, k] by
+  /// clocking the PE grid; functionally identical to quant::int8_gemm_bt.
+  FunctionalResult gemm_bt(std::span<const int8_t> a, int32_t a_zero_point,
+                           std::span<const int8_t> w, int64_t m, int64_t k,
+                           int64_t n) const;
+
+ private:
+  /// Runs one resident weight tile: streams `m` activation rows through and
+  /// accumulates into `acc`. Returns the cycles consumed.
+  int64_t run_tile(std::span<const int8_t> a, int32_t a_zero_point,
+                   std::span<const int8_t> w, std::span<int32_t> acc,
+                   int64_t m, int64_t k, int64_t n, int64_t k0, int64_t n0,
+                   int64_t kt, int64_t nt) const;
+
+  FunctionalArrayConfig config_;
+};
+
+}  // namespace itask::accel

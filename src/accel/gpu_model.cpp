@@ -1,0 +1,72 @@
+#include "accel/gpu_model.h"
+
+#include <algorithm>
+
+#include "tensor/tensor.h"  // ITASK_CHECK
+
+namespace itask::accel {
+
+GpuModel::GpuModel(GpuConfig config) : config_(config) {
+  ITASK_CHECK(config_.peak_gflops > 0.0, "GpuModel: bad peak");
+  ITASK_CHECK(config_.mem_bw_gbps > 0.0, "GpuModel: bad bandwidth");
+}
+
+SimReport GpuModel::run(const vit::InferenceWorkload& workload,
+                        double target_fps) const {
+  SimReport report;
+  report.device = "gpu_fp32";
+  double total_us = 0.0;
+  double energy_pj = 0.0;
+
+  auto simulate = [&](const std::string& name, double flops, double bytes) {
+    const double work = flops;  // occupancy proxy
+    const double occupancy = std::clamp(
+        work / config_.saturation_work, config_.min_occupancy, 1.0);
+    const double compute_us =
+        flops / (config_.peak_gflops * occupancy * 1e3);  // GFLOP/s → fl/µs
+    const double memory_us = bytes / (config_.mem_bw_gbps * 1e3);
+    const double us =
+        config_.kernel_launch_us + std::max(compute_us, memory_us);
+    LayerTiming lt;
+    lt.name = name;
+    lt.micros = us;
+    lt.macs = static_cast<int64_t>(flops / 2.0);
+    lt.dram_bytes = static_cast<int64_t>(bytes);
+    const double e = flops * config_.energy.fp32_flop_pj +
+                     bytes * config_.energy.dram_byte_pj;
+    lt.dynamic_energy_uj = e * 1e-6;
+    energy_pj += e;
+    total_us += us;
+    report.layers.push_back(std::move(lt));
+  };
+
+  for (const vit::GemmOp& op : workload.gemms) {
+    const double flops = 2.0 * static_cast<double>(op.macs());
+    // FP32 traffic: 4 bytes per element for inputs/weights/outputs.
+    const double bytes =
+        4.0 * static_cast<double>(op.input_bytes_int8() +
+                                  op.weight_bytes_int8() +
+                                  op.output_bytes_int8());
+    simulate(op.name, flops, bytes);
+  }
+  for (const vit::VectorOp& op : workload.vector_ops) {
+    const double flops =
+        static_cast<double>(op.elements) * op.flops_per_element;
+    const double bytes = 8.0 * static_cast<double>(op.elements);  // r+w FP32
+    simulate(op.name, flops, bytes);
+  }
+
+  report.total_micros = total_us;
+  report.dynamic_energy_uj = energy_pj * 1e-6;
+  report.fps_capability = 1e6 / total_us;
+  const double frame_us = 1e6 / target_fps;
+  ITASK_CHECK(report.total_micros <= frame_us,
+              "GpuModel: workload misses the frame deadline");
+  report.frame_energy_mj =
+      (config_.system.idle_w * frame_us +
+       config_.system.active_w * report.total_micros) * 1e-3 +
+      report.dynamic_energy_uj * 1e-3;
+  return report;
+}
+
+}  // namespace itask::accel

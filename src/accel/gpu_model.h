@@ -1,0 +1,46 @@
+// Analytic cost model of a GPU-based implementation (the paper's baseline).
+//
+// Mechanism (this is what produces the paper's ratios, not the absolute
+// constants): small-batch edge inference on a GPU is dominated by (a) kernel
+// launch overhead — one launch per op — and (b) low SM occupancy, because a
+// tiny ViT's GEMMs expose far fewer threads than the device needs to reach
+// peak; plus (c) a discrete board's idle power burned over the whole frame
+// period. Latency per op = launch + max(compute at occupancy-derated
+// throughput, memory roofline).
+#pragma once
+
+#include "accel/energy.h"
+#include "accel/report.h"
+#include "vit/workload.h"
+
+namespace itask::accel {
+
+struct GpuConfig {
+  double peak_gflops = 512.0;     // FP32 peak (Jetson-class edge GPU)
+  double mem_bw_gbps = 25.6;      // effective DRAM bandwidth
+  double kernel_launch_us = 4.0;  // per-kernel dispatch overhead
+  /// Work (output elements × k) needed to saturate the device; occupancy is
+  /// min(1, work / saturation_work).
+  double saturation_work = 2.0e6;
+  double min_occupancy = 0.02;    // floor: even one warp makes some progress
+  EnergyTable energy;
+  SystemPower system = gpu_system_power();
+
+  static GpuConfig jetson_class() { return GpuConfig{}; }
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuConfig config = GpuConfig::jetson_class());
+
+  const GpuConfig& config() const { return config_; }
+
+  /// Simulates a full FP32 inference at `target_fps`.
+  SimReport run(const vit::InferenceWorkload& workload,
+                double target_fps = 30.0) const;
+
+ private:
+  GpuConfig config_;
+};
+
+}  // namespace itask::accel

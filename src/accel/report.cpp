@@ -1,0 +1,42 @@
+#include "accel/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace itask::accel {
+
+std::string SimReport::to_table() const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %10s %10s %8s %10s\n",
+                ("[" + device + "] layer").c_str(), "us", "cycles", "util%",
+                "energy_uJ");
+  os << line;
+  for (const LayerTiming& l : layers) {
+    std::snprintf(line, sizeof(line), "%-24s %10.3f %10lld %8.1f %10.4f\n",
+                  l.name.c_str(), l.micros,
+                  static_cast<long long>(l.cycles), l.utilization * 100.0,
+                  l.dynamic_energy_uj);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-24s %10.3f  (%.1f FPS, dyn %.3f uJ, frame %.3f mJ)\n",
+                "TOTAL", total_micros, fps_capability, dynamic_energy_uj,
+                frame_energy_mj);
+  os << line;
+  return os.str();
+}
+
+Comparison compare(const SimReport& baseline, const SimReport& candidate) {
+  Comparison c;
+  if (candidate.total_micros > 0.0)
+    c.speedup = baseline.total_micros / candidate.total_micros;
+  if (baseline.dynamic_energy_uj > 0.0)
+    c.dynamic_energy_ratio =
+        candidate.dynamic_energy_uj / baseline.dynamic_energy_uj;
+  if (baseline.frame_energy_mj > 0.0)
+    c.frame_energy_ratio = candidate.frame_energy_mj / baseline.frame_energy_mj;
+  return c;
+}
+
+}  // namespace itask::accel

@@ -1,0 +1,43 @@
+// Simulation result types shared by the systolic-array and GPU models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itask::accel {
+
+/// Timing/energy of one workload op on a device.
+struct LayerTiming {
+  std::string name;
+  double micros = 0.0;
+  int64_t cycles = 0;       // 0 for the analytic GPU model
+  int64_t macs = 0;
+  double utilization = 0.0; // MACs / (cycles × PEs); 0 for GPU
+  double dynamic_energy_uj = 0.0;
+  int64_t dram_bytes = 0;
+};
+
+/// Full single-inference simulation result.
+struct SimReport {
+  std::string device;
+  std::vector<LayerTiming> layers;
+  double total_micros = 0.0;
+  double dynamic_energy_uj = 0.0;   // compute + memory energy of the inference
+  double frame_energy_mj = 0.0;     // system energy per frame at target FPS
+  double fps_capability = 0.0;      // 1e6 / total_micros
+
+  /// Renders an aligned per-layer table plus totals.
+  std::string to_table() const;
+};
+
+/// Convenience: speedup/energy ratios between two reports.
+struct Comparison {
+  double speedup = 0.0;               // baseline.total / candidate.total
+  double dynamic_energy_ratio = 0.0;  // candidate / baseline
+  double frame_energy_ratio = 0.0;    // candidate / baseline
+};
+
+Comparison compare(const SimReport& baseline, const SimReport& candidate);
+
+}  // namespace itask::accel

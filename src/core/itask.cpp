@@ -1,0 +1,363 @@
+#include "core/itask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/ops.h"
+
+namespace itask::core {
+
+namespace {
+
+/// Classes whose typical instances are relevant to the task (estimated by
+/// sampling instance parameterisations) — used to bias the distillation
+/// corpus toward mission-relevant objects.
+std::vector<data::ObjectClass> task_biased_pool(const data::TaskSpec& spec,
+                                                Rng& rng) {
+  std::vector<data::ObjectClass> pool;
+  std::vector<data::ObjectClass> relevant;
+  for (int64_t c = 1; c < data::kNumClasses; ++c) {
+    const auto cls = static_cast<data::ObjectClass>(c);
+    pool.push_back(cls);
+    int hits = 0;
+    constexpr int kSamples = 16;
+    for (int s = 0; s < kSamples; ++s) {
+      float r, g, b;
+      data::class_base_color(cls, r, g, b);
+      const float scale = rng.uniform(0.45f, 1.0f);
+      const bool moving = rng.bernoulli(0.3);
+      const Tensor attrs =
+          data::resolve_instance_attributes(cls, scale, r, g, b, moving);
+      if (spec.is_relevant(attrs)) ++hits;
+    }
+    if (hits * 2 >= kSamples) relevant.push_back(cls);
+  }
+  // Over-sample relevant classes 3:1 so the student sees its mission often.
+  for (int rep = 0; rep < 3; ++rep)
+    pool.insert(pool.end(), relevant.begin(), relevant.end());
+  return pool;
+}
+
+}  // namespace
+
+Framework::Framework(FrameworkOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      oracle_(options_.oracle) {
+  Rng init_rng = rng_.fork();
+  teacher_ = std::make_unique<vit::VitModel>(options_.teacher_config,
+                                             init_rng);
+  options_.decoder.grid = options_.generator.grid;
+  options_.decoder.image_size = options_.generator.image_size;
+}
+
+void Framework::pretrain_teacher() {
+  ITASK_CHECK(!teacher_trained_, "Framework: teacher already trained");
+  Rng data_rng = rng_.fork();
+  const data::SceneGenerator generator(options_.generator);
+  corpus_ = data::Dataset::generate(generator, options_.corpus_size, data_rng);
+  distill::Trainer trainer(*teacher_, options_.teacher_training);
+  trainer.fit(corpus_);
+  teacher_trained_ = true;
+}
+
+TaskHandle Framework::define_task(const data::TaskSpec& spec) {
+  TaskHandle handle;
+  handle.slot = next_slot_++;
+  handle.spec = spec;
+  handle.graph = oracle_.generate(spec.description);
+  const kg::NodeId task_node = handle.graph.find("task", kg::NodeType::kTask);
+  ITASK_CHECK(task_node != kg::kInvalidNode,
+              "Framework: oracle produced no task node");
+  handle.compiled =
+      kg::compile_task(handle.graph, task_node,
+                       options_.teacher_config.num_attributes,
+                       options_.teacher_config.num_classes);
+  return handle;
+}
+
+TaskHandle Framework::define_task_from_text(const std::string& description) {
+  data::TaskSpec spec;
+  spec.id = -1;
+  spec.name = "adhoc";
+  spec.description = description;
+  spec.positive = Tensor({data::kNumAttributes});
+  spec.negative = Tensor({data::kNumAttributes});
+  return define_task(spec);
+}
+
+distill::DistillStats Framework::prepare_task_specific(
+    const TaskHandle& task) {
+  ITASK_CHECK(teacher_trained_, "Framework: pretrain_teacher() first");
+  Rng fork = rng_.fork();
+  // Task-biased corpus: mission-relevant classes over-represented.
+  data::GeneratorOptions gen_options = options_.generator;
+  gen_options.class_pool = task_biased_pool(task.spec, fork);
+  const data::SceneGenerator generator(gen_options);
+  const data::Dataset task_corpus =
+      data::Dataset::generate(generator, options_.task_corpus_size, fork);
+
+  auto student =
+      std::make_unique<vit::VitModel>(options_.student_config, fork);
+  distill::Distiller distiller(*teacher_, *student, options_.distillation,
+                               fork);
+  const distill::DistillStats stats = distiller.run(task_corpus, &task.spec);
+  students_[task.slot] = std::move(student);
+  return stats;
+}
+
+void Framework::prepare_quantized() {
+  ITASK_CHECK(teacher_trained_, "Framework: pretrain_teacher() first");
+  Rng fork = rng_.fork();
+  // 1. Distil a task-agnostic multi-task student (reusing corpus scenes).
+  const int64_t subset =
+      std::min(options_.multitask_corpus_size, corpus_.size());
+  std::vector<data::Scene> scenes;
+  scenes.reserve(static_cast<size_t>(subset));
+  for (int64_t i = 0; i < subset; ++i) scenes.push_back(corpus_.scene(i));
+  const data::Dataset mt_corpus(std::move(scenes));
+  multitask_student_ =
+      std::make_unique<vit::VitModel>(options_.student_config, fork);
+  distill::Distiller distiller(*teacher_, *multitask_student_,
+                               options_.multitask_distillation, fork);
+  distiller.run(mt_corpus, /*task=*/nullptr);
+  // 2. Post-training quantization with calibration.
+  quantized_.emplace(quant::QuantizedVit::from_model(*multitask_student_,
+                                                     options_.quantization));
+  const data::SceneGenerator generator(options_.generator);
+  const data::Dataset calib =
+      data::Dataset::generate(generator, options_.calibration_scenes, fork);
+  const auto idx = calib.all_indices();
+  const data::Batch batch = calib.make_batch(idx);
+  quantized_->calibrate(batch.images);
+  quantized_->finalize();
+}
+
+std::vector<std::vector<detect::Detection>> Framework::decode_and_match(
+    const vit::VitOutput& output, const TaskHandle& task, bool use_rel_head) {
+  auto candidates = detect::decode(output, options_.decoder);
+  const kg::TaskMatcher matcher(task.compiled, options_.matcher);
+  std::vector<std::vector<detect::Detection>> result;
+  result.reserve(candidates.size());
+  for (size_t bi = 0; bi < candidates.size(); ++bi) {
+    std::vector<detect::Detection> kept;
+    for (detect::Detection& d : candidates[bi]) {
+      if (use_rel_head) {
+        const float rel_logit = output.relevance.at(
+            {static_cast<int64_t>(bi), d.cell, 0});
+        const float rel = 1.0f / (1.0f + std::exp(-rel_logit));
+        d.task_score = rel;
+        if (rel < options_.relevance_threshold) continue;
+        d.confidence = d.objectness * rel;
+      } else {
+        d.task_score = matcher.score(d.attr_probs, d.class_probs);
+        if (!matcher.relevant(d.attr_probs, d.class_probs)) continue;
+        d.confidence =
+            d.objectness * matcher.confidence(d.attr_probs, d.class_probs);
+      }
+      kept.push_back(std::move(d));
+    }
+    result.push_back(detect::nms(std::move(kept), options_.nms_iou));
+  }
+  return result;
+}
+
+std::vector<std::vector<detect::Detection>> Framework::detect_batch(
+    const Tensor& images, const TaskHandle& task, ConfigKind config) {
+  ITASK_CHECK(images.ndim() == 4, "detect_batch: need [B, C, H, W]");
+  if (config == ConfigKind::kTaskSpecific) {
+    auto it = students_.find(task.slot);
+    ITASK_CHECK(it != students_.end(),
+                "detect_batch: prepare_task_specific() first");
+    it->second->set_training(false);
+    const vit::VitOutput out = it->second->forward(images);
+    return decode_and_match(out, task, /*use_rel_head=*/true);
+  }
+  ITASK_CHECK(quantized_.has_value(), "detect_batch: prepare_quantized() first");
+  const vit::VitOutput out = quantized_->forward(images);
+  return decode_and_match(out, task, /*use_rel_head=*/false);
+}
+
+std::vector<detect::Detection> Framework::detect(const Tensor& image,
+                                                 const TaskHandle& task,
+                                                 ConfigKind config) {
+  ITASK_CHECK(image.ndim() == 3, "detect: need [C, H, W]");
+  Shape batched = image.shape();
+  batched.insert(batched.begin(), 1);
+  auto result = detect_batch(image.reshape(batched), task, config);
+  return std::move(result.front());
+}
+
+std::vector<std::vector<detect::GroundTruthObject>> Framework::ground_truth(
+    const data::Dataset& dataset, const data::TaskSpec& spec) {
+  std::vector<std::vector<detect::GroundTruthObject>> truth;
+  truth.reserve(static_cast<size_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    std::vector<detect::GroundTruthObject> per_scene;
+    for (const data::ObjectInstance& o : dataset.scene(i).objects) {
+      detect::GroundTruthObject g;
+      g.box = o.box;
+      g.cls = data::class_index(o.cls);
+      g.task_relevant = spec.is_relevant(o.attributes);
+      per_scene.push_back(std::move(g));
+    }
+    truth.push_back(std::move(per_scene));
+  }
+  return truth;
+}
+
+detect::EvalResult Framework::evaluate(const data::Dataset& dataset,
+                                       const TaskHandle& task,
+                                       ConfigKind config) {
+  ITASK_CHECK(dataset.size() > 0, "evaluate: empty dataset");
+  std::vector<std::vector<detect::Detection>> detections;
+  detections.reserve(static_cast<size_t>(dataset.size()));
+  constexpr int64_t kChunk = 16;
+  const auto indices = dataset.all_indices();
+  for (int64_t start = 0; start < dataset.size(); start += kChunk) {
+    const int64_t end = std::min(dataset.size(), start + kChunk);
+    const data::Batch batch = dataset.make_batch(
+        std::span<const int64_t>(indices.data() + start,
+                                 static_cast<size_t>(end - start)));
+    auto chunk = detect_batch(batch.images, task, config);
+    for (auto& d : chunk) detections.push_back(std::move(d));
+  }
+  return detect::evaluate(detections, ground_truth(dataset, task.spec),
+                          options_.eval_iou);
+}
+
+PolicyDecision Framework::choose_configuration(
+    const SituationProfile& profile) const {
+  return itask::core::choose_configuration(profile, task_specific_model_mb(),
+                                           quantized_model_mb());
+}
+
+vit::VitModel& Framework::teacher() {
+  ITASK_CHECK(teacher_ != nullptr, "Framework: no teacher");
+  return *teacher_;
+}
+
+vit::VitModel& Framework::student_for(const TaskHandle& task) {
+  auto it = students_.find(task.slot);
+  ITASK_CHECK(it != students_.end(), "Framework: no student for task");
+  return *it->second;
+}
+
+vit::VitModel& Framework::multitask_student() {
+  ITASK_CHECK(multitask_student_ != nullptr,
+              "Framework: prepare_quantized() first");
+  return *multitask_student_;
+}
+
+quant::QuantizedVit& Framework::quantized() {
+  ITASK_CHECK(quantized_.has_value(), "Framework: no quantized model");
+  return *quantized_;
+}
+
+namespace {
+
+/// Rebuilds the quantized runtime from a trained multi-task student.
+void calibrate_quantized(quant::QuantizedVit& qvit,
+                         const FrameworkOptions& options, Rng& rng) {
+  const data::SceneGenerator generator(options.generator);
+  const data::Dataset calib =
+      data::Dataset::generate(generator, options.calibration_scenes, rng);
+  const auto idx = calib.all_indices();
+  const data::Batch batch = calib.make_batch(idx);
+  qvit.calibrate(batch.images);
+  qvit.finalize();
+}
+
+}  // namespace
+
+void Framework::save_deployment(const std::string& directory) const {
+  ITASK_CHECK(teacher_trained_, "save_deployment: pretrain_teacher() first");
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  io::save_state_dict(teacher_->state_dict(),
+                      (fs::path(directory) / "teacher.itsk").string());
+  std::ofstream manifest(fs::path(directory) / "manifest.txt");
+  ITASK_CHECK(manifest.good(), "save_deployment: cannot write manifest");
+  manifest << "ITASK-DEPLOYMENT v1" << '\n';
+  if (multitask_student_ != nullptr) {
+    io::save_state_dict(multitask_student_->state_dict(),
+                        (fs::path(directory) / "multitask.itsk").string());
+    manifest << "multitask 1" << '\n';
+  }
+  for (const auto& [slot, student] : students_) {
+    io::save_state_dict(
+        student->state_dict(),
+        (fs::path(directory) / ("student_" + std::to_string(slot) + ".itsk"))
+            .string());
+    manifest << "student " << slot << '\n';
+  }
+}
+
+void Framework::load_deployment(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::ifstream manifest(fs::path(directory) / "manifest.txt");
+  ITASK_CHECK(manifest.good(), "load_deployment: missing manifest in " +
+                                   directory);
+  std::string header;
+  std::getline(manifest, header);
+  ITASK_CHECK(header == "ITASK-DEPLOYMENT v1",
+              "load_deployment: bad manifest header");
+  teacher_->load_state_dict(io::load_state_dict(
+      (fs::path(directory) / "teacher.itsk").string()));
+  teacher_trained_ = true;
+
+  std::string kind;
+  while (manifest >> kind) {
+    if (kind == "multitask") {
+      int present = 0;
+      manifest >> present;
+      if (present != 1) continue;
+      Rng fork = rng_.fork();
+      multitask_student_ =
+          std::make_unique<vit::VitModel>(options_.student_config, fork);
+      multitask_student_->load_state_dict(io::load_state_dict(
+          (fs::path(directory) / "multitask.itsk").string()));
+      quantized_.emplace(quant::QuantizedVit::from_model(
+          *multitask_student_, options_.quantization));
+      calibrate_quantized(*quantized_, options_, fork);
+    } else if (kind == "student") {
+      int64_t slot = -1;
+      manifest >> slot;
+      ITASK_CHECK(slot >= 0, "load_deployment: bad student slot");
+      Rng fork = rng_.fork();
+      auto student =
+          std::make_unique<vit::VitModel>(options_.student_config, fork);
+      student->load_state_dict(io::load_state_dict(
+          (fs::path(directory) /
+           ("student_" + std::to_string(slot) + ".itsk"))
+              .string()));
+      // Deliberately do NOT advance next_slot_: the caller re-defines tasks
+      // in the original order, so define_task() must hand out the same slot
+      // numbers the saved students were keyed under.
+      students_[slot] = std::move(student);
+    } else {
+      ITASK_CHECK(false, "load_deployment: unknown manifest entry " + kind);
+    }
+  }
+}
+
+double Framework::task_specific_model_mb() const {
+  // FP32 student parameter footprint.
+  Rng probe(1);
+  vit::VitModel tmp(options_.student_config, probe);
+  return static_cast<double>(tmp.parameter_count()) * 4.0 / (1024.0 * 1024.0);
+}
+
+double Framework::quantized_model_mb() const {
+  if (quantized_.has_value()) {
+    return static_cast<double>(quantized_->quantized_weight_bytes()) /
+           (1024.0 * 1024.0);
+  }
+  Rng probe(1);
+  vit::VitModel tmp(options_.student_config, probe);
+  return static_cast<double>(tmp.parameter_count()) / (1024.0 * 1024.0);
+}
+
+}  // namespace itask::core

@@ -1,0 +1,46 @@
+#include "core/policy.h"
+
+namespace itask::core {
+
+const char* config_kind_name(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::kTaskSpecific: return "task_specific";
+    case ConfigKind::kQuantizedMultiTask: return "quantized_multi_task";
+  }
+  return "?";
+}
+
+PolicyDecision choose_configuration(const SituationProfile& profile,
+                                    double task_specific_model_mb,
+                                    double quantized_model_mb) {
+  PolicyDecision d;
+  if (!profile.tasks_known_ahead) {
+    d.config = ConfigKind::kQuantizedMultiTask;
+    d.rationale = "tasks arrive at run time; only the quantized model can "
+                  "serve unseen missions via knowledge-graph matching";
+    return d;
+  }
+  const double fleet_mb =
+      task_specific_model_mb * static_cast<double>(profile.expected_task_count);
+  if (fleet_mb > profile.memory_budget_mb) {
+    d.config = ConfigKind::kQuantizedMultiTask;
+    d.rationale = "a distilled student per task exceeds the memory budget (" +
+                  std::to_string(fleet_mb) + " MB > " +
+                  std::to_string(profile.memory_budget_mb) + " MB)";
+    return d;
+  }
+  if (profile.accuracy_critical || profile.expected_task_count == 1) {
+    d.config = ConfigKind::kTaskSpecific;
+    d.rationale = "missions are fixed and fit in memory; per-task distilled "
+                  "students maximise accuracy";
+    return d;
+  }
+  d.config = ConfigKind::kQuantizedMultiTask;
+  d.rationale = "many concurrent tasks with no accuracy criticality; a "
+                "single quantized model (" +
+                std::to_string(quantized_model_mb) +
+                " MB) is the efficient choice";
+  return d;
+}
+
+}  // namespace itask::core

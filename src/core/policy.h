@@ -1,0 +1,37 @@
+// Situational-adaptability policy: picks between the task-specific and
+// quantized configurations from a deployment profile (the paper's "dual
+// configuration" selection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace itask::core {
+
+enum class ConfigKind {
+  kTaskSpecific,       // distilled per-task student (highest accuracy)
+  kQuantizedMultiTask, // one INT8 model serving every task via the KG
+};
+
+const char* config_kind_name(ConfigKind kind);
+
+/// What the deployment looks like.
+struct SituationProfile {
+  int64_t expected_task_count = 1;
+  bool tasks_known_ahead = true;   // can we distill before deployment?
+  double memory_budget_mb = 8.0;   // model storage available on-device
+  bool accuracy_critical = true;   // single-task accuracy over flexibility
+};
+
+struct PolicyDecision {
+  ConfigKind config = ConfigKind::kQuantizedMultiTask;
+  std::string rationale;
+};
+
+/// `task_specific_model_mb` is the per-task student footprint;
+/// `quantized_model_mb` the one-off INT8 model footprint.
+PolicyDecision choose_configuration(const SituationProfile& profile,
+                                    double task_specific_model_mb,
+                                    double quantized_model_mb);
+
+}  // namespace itask::core

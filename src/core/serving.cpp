@@ -1,0 +1,85 @@
+#include "core/serving.h"
+
+#include <algorithm>
+
+#include "data/attributes.h"
+#include "tensor/rng.h"
+#include "vit/workload.h"
+
+namespace itask::core {
+
+const char* serving_strategy_name(ServingStrategy s) {
+  switch (s) {
+    case ServingStrategy::kTaskSpecificFleet: return "task_specific_fleet";
+    case ServingStrategy::kQuantizedSingle: return "quantized_single";
+  }
+  return "?";
+}
+
+ServingReport simulate_serving(ServingStrategy strategy,
+                               const ServingOptions& options) {
+  ITASK_CHECK(options.num_tasks >= 1, "simulate_serving: need >= 1 task");
+  ITASK_CHECK(options.frames >= 1, "simulate_serving: need >= 1 frame");
+  ServingReport report;
+  report.strategy = strategy;
+  report.frames = options.frames;
+
+  const accel::SystolicArray array(options.accelerator);
+  const auto workload = vit::build_workload(options.model, 1, "serving");
+  // Steady-state inference latency (weights resident).
+  report.inference_us = array.run(workload, 10.0).total_micros;
+
+  // Mission-switch cost.
+  if (strategy == ServingStrategy::kTaskSpecificFleet) {
+    // Stage the incoming student's weights from DRAM into SRAM. Task-
+    // specific students deploy in FP32 (that is what buys their accuracy
+    // edge, see T1), so 4 bytes per weight cross the DMA.
+    const double bytes =
+        4.0 * static_cast<double>(workload.total_weight_bytes_int8());
+    report.swap_us = options.switch_flush_us +
+                     bytes / (options.accelerator.dram_bw_gbps * 1e3);
+  } else {
+    // Only the compiled task vectors move: (A attributes + C classes + 1
+    // threshold) FP32 values.
+    const double bytes = 4.0 * static_cast<double>(
+        options.model.num_attributes + options.model.num_classes + 1);
+    report.swap_us = options.switch_flush_us +
+                     bytes / (options.accelerator.dram_bw_gbps * 1e3);
+  }
+
+  // Markov mission stream.
+  Rng rng(options.seed);
+  int64_t active = 0;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(options.frames));
+  double total_us = 0.0;
+  constexpr double kDeadlineUs = 1e6 / 30.0;
+  int64_t misses = 0;
+  for (int64_t f = 0; f < options.frames; ++f) {
+    double latency = report.inference_us;
+    if (options.num_tasks > 1 &&
+        rng.bernoulli(options.task_switch_probability)) {
+      int64_t next = rng.randint(0, options.num_tasks - 2);
+      if (next >= active) ++next;  // uniform over the other tasks
+      active = next;
+      ++report.switches;
+      latency += report.swap_us;
+    }
+    latencies.push_back(latency);
+    total_us += latency;
+    if (latency > kDeadlineUs) ++misses;
+  }
+
+  report.mean_latency_us = total_us / static_cast<double>(options.frames);
+  std::sort(latencies.begin(), latencies.end());
+  const size_t p99_index = static_cast<size_t>(
+      0.99 * static_cast<double>(latencies.size() - 1));
+  report.p99_latency_us = latencies[p99_index];
+  report.worst_latency_us = latencies.back();
+  report.effective_fps = 1e6 * static_cast<double>(options.frames) / total_us;
+  report.deadline_miss_rate =
+      static_cast<double>(misses) / static_cast<double>(options.frames);
+  return report;
+}
+
+}  // namespace itask::core

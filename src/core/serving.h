@@ -1,0 +1,60 @@
+// Multi-task serving simulation: what latency does a stream of frames with
+// interleaved missions actually see on the accelerator?
+//
+// Strategies:
+//  * kTaskSpecificFleet — one (quantized) student per task resides in DRAM;
+//    a mission change stages the new student's weights into accelerator
+//    SRAM over DMA before the frame can run (weight-swap penalty).
+//  * kQuantizedSingle  — one multi-task model stays resident; a mission
+//    change only swaps the compiled task vectors (a few hundred bytes).
+//
+// This quantifies the run-time half of the dual-configuration trade-off
+// (bench F4); the accuracy half is T1/F1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/systolic.h"
+#include "vit/config.h"
+
+namespace itask::core {
+
+enum class ServingStrategy {
+  kTaskSpecificFleet,
+  kQuantizedSingle,
+};
+
+const char* serving_strategy_name(ServingStrategy s);
+
+struct ServingOptions {
+  accel::SystolicConfig accelerator;
+  vit::ViTConfig model = vit::ViTConfig::student();
+  int64_t num_tasks = 4;
+  int64_t frames = 2000;
+  /// Per-frame probability that the active mission changes.
+  double task_switch_probability = 0.1;
+  /// Pipeline flush cost charged on any mission change (both strategies).
+  double switch_flush_us = 2.0;
+  uint64_t seed = 99;
+};
+
+struct ServingReport {
+  ServingStrategy strategy{};
+  int64_t frames = 0;
+  int64_t switches = 0;
+  double inference_us = 0.0;      // steady-state per-frame latency
+  double swap_us = 0.0;           // cost charged per mission change
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double worst_latency_us = 0.0;
+  double effective_fps = 0.0;     // frames / total time
+  /// Fraction of frames that missed a 30 FPS deadline (33.3 ms).
+  double deadline_miss_rate = 0.0;
+};
+
+/// Simulates `options.frames` frames with a Markov mission process.
+ServingReport simulate_serving(ServingStrategy strategy,
+                               const ServingOptions& options);
+
+}  // namespace itask::core

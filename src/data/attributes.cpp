@@ -1,0 +1,83 @@
+#include "data/attributes.h"
+
+namespace itask::data {
+
+namespace {
+
+const std::array<std::string, kNumAttributes> kAttributeNames = {
+    "metallic", "sharp",  "round",    "elongated", "large",  "small",
+    "bright",   "dark",   "red_hue",  "green_hue", "blue_hue", "textured",
+    "moving",   "fragile", "hazardous", "organic"};
+
+const std::array<std::string, kNumClasses> kClassNames = {
+    "background", "car",   "pedestrian", "traffic_cone", "scalpel",
+    "gauze",      "syringe", "bolt",     "crack",        "gear",
+    "fruit",      "bottle", "animal"};
+
+// Prototype rows indexed by attribute order above. These encode the
+// "commonsense" the simulated LLM draws on: e.g. scalpels are metallic,
+// sharp, elongated, small and hazardous; gauze is bright and fragile.
+struct Proto {
+  ObjectClass cls;
+  std::array<float, kNumAttributes> attrs;
+};
+
+constexpr float H = 1.0f;  // attribute definitely holds
+constexpr float S = 0.6f;  // attribute usually holds (soft)
+
+const Proto kPrototypes[] = {
+    // metallic sharp round elong large small bright dark red grn blu text mov frag haz org
+    {ObjectClass::kBackground,
+     {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+    {ObjectClass::kCar,
+     {H, 0, 0, S, H, 0, 0, 0, 0, 0, S, 0, S, 0, S, 0}},
+    {ObjectClass::kPedestrian,
+     {0, 0, 0, S, 0, 0, 0, 0, S, 0, 0, 0, S, H, S, H}},
+    {ObjectClass::kTrafficCone,
+     {0, S, 0, 0, 0, S, H, 0, H, 0, 0, S, 0, 0, S, 0}},
+    {ObjectClass::kScalpel,
+     {H, H, 0, H, 0, H, S, 0, 0, 0, 0, 0, 0, 0, H, 0}},
+    {ObjectClass::kGauze,
+     {0, 0, 0, 0, 0, 0, H, 0, 0, 0, 0, S, 0, H, 0, 0}},
+    {ObjectClass::kSyringe,
+     {S, H, 0, H, 0, H, S, 0, 0, 0, 0, 0, 0, H, S, 0}},
+    {ObjectClass::kBolt,
+     {H, 0, S, 0, 0, H, 0, S, 0, 0, 0, S, 0, 0, 0, 0}},
+    {ObjectClass::kCrack,
+     {0, S, 0, H, 0, 0, 0, H, 0, 0, 0, S, 0, 0, H, 0}},
+    {ObjectClass::kGear,
+     {H, 0, H, 0, 0, 0, 0, S, 0, 0, 0, H, 0, 0, 0, 0}},
+    {ObjectClass::kFruit,
+     {0, 0, H, 0, 0, S, S, 0, S, S, 0, 0, 0, S, 0, H}},
+    {ObjectClass::kBottle,
+     {0, 0, 0, H, 0, 0, S, 0, 0, S, 0, 0, 0, H, 0, 0}},
+    {ObjectClass::kAnimal,
+     {0, 0, S, 0, 0, 0, 0, S, 0, 0, 0, S, H, 0, S, H}},
+};
+
+}  // namespace
+
+const std::string& attribute_name(Attribute a) {
+  const int64_t i = attr_index(a);
+  ITASK_CHECK(i >= 0 && i < kNumAttributes, "attribute index out of range");
+  return kAttributeNames[static_cast<size_t>(i)];
+}
+
+const std::string& class_name(ObjectClass c) {
+  const int64_t i = class_index(c);
+  ITASK_CHECK(i >= 0 && i < kNumClasses, "class index out of range");
+  return kClassNames[static_cast<size_t>(i)];
+}
+
+Tensor class_attribute_prototype(ObjectClass c) {
+  const int64_t i = class_index(c);
+  ITASK_CHECK(i >= 0 && i < kNumClasses, "class index out of range");
+  const Proto& p = kPrototypes[i];
+  ITASK_CHECK(p.cls == c, "prototype table order mismatch");
+  Tensor out({kNumAttributes});
+  for (int64_t j = 0; j < kNumAttributes; ++j)
+    out[j] = p.attrs[static_cast<size_t>(j)];
+  return out;
+}
+
+}  // namespace itask::data

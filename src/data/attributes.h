@@ -1,0 +1,75 @@
+// The abstract attribute vocabulary and object-class ontology of the
+// synthetic iTask domain (DESIGN.md §4: substitutes the paper's real-world
+// datasets while preserving exact attribute ground truth).
+//
+// Every object class has a prototype attribute vector; instance-level
+// attributes (size, hue, motion) are derived from the rendered instance so
+// the vision model can actually ground them in pixels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace itask::data {
+
+/// Abstract, task-level attributes. Each is visually grounded by the
+/// renderer (e.g. kMetallic objects get a specular streak, kMoving objects a
+/// motion-blur trail) so a detector can learn them from pixels.
+enum class Attribute : int64_t {
+  kMetallic = 0,
+  kSharp,
+  kRound,
+  kElongated,
+  kLarge,
+  kSmall,
+  kBright,
+  kDark,
+  kRedHue,
+  kGreenHue,
+  kBlueHue,
+  kTextured,
+  kMoving,
+  kFragile,
+  kHazardous,
+  kOrganic,
+  kCount  // sentinel
+};
+
+inline constexpr int64_t kNumAttributes =
+    static_cast<int64_t>(Attribute::kCount);
+
+/// Object classes; kBackground occupies logit 0 so empty cells are a class.
+enum class ObjectClass : int64_t {
+  kBackground = 0,
+  kCar,
+  kPedestrian,
+  kTrafficCone,
+  kScalpel,
+  kGauze,
+  kSyringe,
+  kBolt,
+  kCrack,
+  kGear,
+  kFruit,
+  kBottle,
+  kAnimal,
+  kCount  // sentinel
+};
+
+inline constexpr int64_t kNumClasses = static_cast<int64_t>(ObjectClass::kCount);
+
+const std::string& attribute_name(Attribute a);
+const std::string& class_name(ObjectClass c);
+
+/// Index helpers.
+inline int64_t attr_index(Attribute a) { return static_cast<int64_t>(a); }
+inline int64_t class_index(ObjectClass c) { return static_cast<int64_t>(c); }
+
+/// The class-level prototype attribute vector (values in [0,1]; instance
+/// attributes refine size/hue/motion entries). Background is all zeros.
+Tensor class_attribute_prototype(ObjectClass c);
+
+}  // namespace itask::data

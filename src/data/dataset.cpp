@@ -1,0 +1,119 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::data {
+
+void encode_box(const BoxPx& box, int64_t cell, int64_t grid, float cell_px,
+                float* out4) {
+  const int64_t gy = cell / grid;
+  const int64_t gx = cell % grid;
+  const float cell_cx = (static_cast<float>(gx) + 0.5f) * cell_px;
+  const float cell_cy = (static_cast<float>(gy) + 0.5f) * cell_px;
+  out4[0] = (box.cx - cell_cx) / cell_px;
+  out4[1] = (box.cy - cell_cy) / cell_px;
+  out4[2] = std::log(std::max(box.w, 1e-3f) / cell_px);
+  out4[3] = std::log(std::max(box.h, 1e-3f) / cell_px);
+}
+
+BoxPx decode_box(const float* delta4, int64_t cell, int64_t grid,
+                 float cell_px) {
+  const int64_t gy = cell / grid;
+  const int64_t gx = cell % grid;
+  BoxPx box;
+  box.cx = (static_cast<float>(gx) + 0.5f) * cell_px + delta4[0] * cell_px;
+  box.cy = (static_cast<float>(gy) + 0.5f) * cell_px + delta4[1] * cell_px;
+  box.w = std::exp(std::clamp(delta4[2], -4.0f, 4.0f)) * cell_px;
+  box.h = std::exp(std::clamp(delta4[3], -4.0f, 4.0f)) * cell_px;
+  return box;
+}
+
+Dataset::Dataset(std::vector<Scene> scenes) : scenes_(std::move(scenes)) {}
+
+Dataset Dataset::generate(const SceneGenerator& generator, int64_t count,
+                          Rng& rng) {
+  return Dataset(generator.generate_many(count, rng));
+}
+
+const Scene& Dataset::scene(int64_t i) const {
+  ITASK_CHECK(i >= 0 && i < size(), "Dataset: scene index out of range");
+  return scenes_[static_cast<size_t>(i)];
+}
+
+Batch Dataset::make_batch(std::span<const int64_t> indices,
+                          const TaskSpec* task) const {
+  ITASK_CHECK(!indices.empty(), "Dataset: empty batch");
+  const Scene& first = scene(indices[0]);
+  const int64_t grid = first.grid;
+  const int64_t t = grid * grid;
+  const int64_t img = first.image_size;
+  const float cell_px = static_cast<float>(img) / static_cast<float>(grid);
+  const int64_t b = static_cast<int64_t>(indices.size());
+
+  Batch batch;
+  batch.images = Tensor({b, 3, img, img});
+  batch.objectness = Tensor({b, t, 1});
+  batch.cell_class.assign(static_cast<size_t>(b * t), 0);
+  batch.attributes = Tensor({b, t, kNumAttributes});
+  batch.attr_mask = Tensor({b, t, kNumAttributes});
+  batch.boxes = Tensor({b, t, 4});
+  batch.box_mask = Tensor({b, t, 4});
+  batch.relevance = Tensor({b, t, 1});
+
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const Scene& s = scene(indices[static_cast<size_t>(bi)]);
+    ITASK_CHECK(s.grid == grid && s.image_size == img,
+                "Dataset: mixed scene geometry in one batch");
+    batch.images.set_index(bi, s.image);
+    for (const ObjectInstance& o : s.objects) {
+      const int64_t cell = o.cell;
+      ITASK_CHECK(cell >= 0 && cell < t, "Dataset: object cell out of range");
+      batch.objectness.at({bi, cell, 0}) = 1.0f;
+      batch.cell_class[static_cast<size_t>(bi * t + cell)] =
+          class_index(o.cls);
+      for (int64_t a = 0; a < kNumAttributes; ++a) {
+        batch.attributes.at({bi, cell, a}) = o.attributes[a];
+        batch.attr_mask.at({bi, cell, a}) = 1.0f;
+      }
+      float enc[4];
+      encode_box(o.box, cell, grid, cell_px, enc);
+      for (int64_t j = 0; j < 4; ++j) {
+        batch.boxes.at({bi, cell, j}) = enc[j];
+        batch.box_mask.at({bi, cell, j}) = 1.0f;
+      }
+      if (task != nullptr && task->is_relevant(o.attributes))
+        batch.relevance.at({bi, cell, 0}) = 1.0f;
+    }
+  }
+  return batch;
+}
+
+std::vector<int64_t> Dataset::all_indices() const {
+  std::vector<int64_t> out(static_cast<size_t>(size()));
+  for (int64_t i = 0; i < size(); ++i) out[static_cast<size_t>(i)] = i;
+  return out;
+}
+
+std::vector<int64_t> sample_few_shot(const Dataset& dataset,
+                                     const TaskSpec& task, int64_t shots,
+                                     Rng& rng) {
+  std::vector<int64_t> positives;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    for (const ObjectInstance& o : dataset.scene(i).objects) {
+      if (task.is_relevant(o.attributes)) {
+        positives.push_back(i);
+        break;
+      }
+    }
+  }
+  ITASK_CHECK(!positives.empty(),
+              "sample_few_shot: no scene contains a task-relevant object");
+  rng.shuffle(positives);
+  if (static_cast<int64_t>(positives.size()) > shots)
+    positives.resize(static_cast<size_t>(shots));
+  std::sort(positives.begin(), positives.end());
+  return positives;
+}
+
+}  // namespace itask::data

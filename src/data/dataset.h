@@ -1,0 +1,68 @@
+// Datasets: scene collections with batch/label extraction for training the
+// detection ViT, plus the few-shot sampler used by experiment F2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/scene.h"
+#include "data/tasks.h"
+
+namespace itask::data {
+
+/// Supervision for one batch, aligned with VitModel outputs.
+/// T = grid*grid cells per image.
+struct Batch {
+  Tensor images;      // [B, C, H, W]
+  Tensor objectness;  // [B, T, 1] 1 where the cell holds an object
+  std::vector<int64_t> cell_class;  // B*T class labels (background = 0)
+  Tensor attributes;  // [B, T, A] instance attribute targets (0 on empty)
+  Tensor attr_mask;   // [B, T, A] 1 on object cells (supervise only there)
+  Tensor boxes;       // [B, T, 4] encoded deltas (dx, dy, log w, log h)
+  Tensor box_mask;    // [B, T, 4] 1 on object cells
+  /// Per-cell task relevance (only filled by task-specific datasets):
+  Tensor relevance;   // [B, T, 1] 1 where the object is relevant to the task
+};
+
+/// Encodes an object's box relative to its grid cell.
+void encode_box(const BoxPx& box, int64_t cell, int64_t grid, float cell_px,
+                float* out4);
+
+/// Decodes head predictions back to a pixel box.
+BoxPx decode_box(const float* delta4, int64_t cell, int64_t grid,
+                 float cell_px);
+
+/// A collection of scenes with deterministic batching.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Scene> scenes);
+
+  /// Convenience: generate `count` scenes with the given generator.
+  static Dataset generate(const SceneGenerator& generator, int64_t count,
+                          Rng& rng);
+
+  int64_t size() const { return static_cast<int64_t>(scenes_.size()); }
+  const Scene& scene(int64_t i) const;
+  const std::vector<Scene>& scenes() const { return scenes_; }
+
+  /// Builds supervision for the given scene indices. When `task` is non-null
+  /// the `relevance` tensor is filled from the task's ground-truth predicate.
+  Batch make_batch(std::span<const int64_t> indices,
+                   const TaskSpec* task = nullptr) const;
+
+  /// All indices [0, size), convenient for full-dataset evaluation.
+  std::vector<int64_t> all_indices() const;
+
+ private:
+  std::vector<Scene> scenes_;
+};
+
+/// Draws K scenes per task such that each drawn scene contains at least one
+/// task-relevant object (the paper's "limited samples" regime).
+std::vector<int64_t> sample_few_shot(const Dataset& dataset,
+                                     const TaskSpec& task, int64_t shots,
+                                     Rng& rng);
+
+}  // namespace itask::data

@@ -1,0 +1,80 @@
+#include "data/generator.h"
+
+#include <algorithm>
+
+namespace itask::data {
+
+SceneGenerator::SceneGenerator(GeneratorOptions options)
+    : options_(std::move(options)) {
+  ITASK_CHECK(options_.image_size % options_.grid == 0,
+              "SceneGenerator: image_size must be divisible by grid");
+  ITASK_CHECK(options_.min_objects >= 0 &&
+                  options_.max_objects >= options_.min_objects,
+              "SceneGenerator: bad object count range");
+  ITASK_CHECK(options_.max_objects <= options_.grid * options_.grid,
+              "SceneGenerator: more objects than cells");
+  if (options_.class_pool.has_value()) {
+    pool_ = *options_.class_pool;
+    ITASK_CHECK(!pool_.empty(), "SceneGenerator: empty class pool");
+  } else {
+    for (int64_t c = 1; c < kNumClasses; ++c)
+      pool_.push_back(static_cast<ObjectClass>(c));
+  }
+}
+
+ObjectInstance SceneGenerator::make_object(int64_t cell, Rng& rng) const {
+  ObjectInstance o;
+  o.cls = pool_[static_cast<size_t>(
+      rng.randint(0, static_cast<int64_t>(pool_.size()) - 1))];
+  o.cell = cell;
+  float r, g, b;
+  class_base_color(o.cls, r, g, b);
+  const float j = options_.color_jitter;
+  o.r = std::clamp(r + rng.uniform(-j, j), 0.0f, 1.0f);
+  o.g = std::clamp(g + rng.uniform(-j, j), 0.0f, 1.0f);
+  o.b = std::clamp(b + rng.uniform(-j, j), 0.0f, 1.0f);
+  o.scale = rng.uniform(options_.min_scale, options_.max_scale);
+  // Classes whose prototype allows motion may move (cars, people, animals…).
+  const Tensor proto = class_attribute_prototype(o.cls);
+  const float moving_prior = proto[attr_index(Attribute::kMoving)];
+  o.moving = moving_prior > 0.0f && rng.bernoulli(0.5 * moving_prior);
+
+  const float cell_px =
+      static_cast<float>(options_.image_size) / static_cast<float>(options_.grid);
+  const int64_t gy = cell / options_.grid;
+  const int64_t gx = cell % options_.grid;
+  float aw, ah;
+  class_aspect(o.cls, aw, ah);
+  const float cj = options_.center_jitter * cell_px;
+  o.box.cx = (static_cast<float>(gx) + 0.5f) * cell_px + rng.uniform(-cj, cj);
+  o.box.cy = (static_cast<float>(gy) + 0.5f) * cell_px + rng.uniform(-cj, cj);
+  o.box.w = std::max(2.0f, o.scale * aw * cell_px);
+  o.box.h = std::max(2.0f, o.scale * ah * cell_px);
+  o.attributes =
+      resolve_instance_attributes(o.cls, o.scale, o.r, o.g, o.b, o.moving);
+  return o;
+}
+
+Scene SceneGenerator::generate(Rng& rng) const {
+  Scene scene;
+  scene.image_size = options_.image_size;
+  scene.grid = options_.grid;
+  const int64_t cells = options_.grid * options_.grid;
+  const int64_t count =
+      rng.randint(options_.min_objects, options_.max_objects);
+  const std::vector<int64_t> chosen = rng.sample_indices(cells, count);
+  scene.objects.reserve(static_cast<size_t>(count));
+  for (int64_t cell : chosen) scene.objects.push_back(make_object(cell, rng));
+  render_scene(scene, rng);
+  return scene;
+}
+
+std::vector<Scene> SceneGenerator::generate_many(int64_t count,
+                                                 Rng& rng) const {
+  std::vector<Scene> scenes;
+  scenes.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) scenes.push_back(generate(rng));
+  return scenes;
+}
+
+}  // namespace itask::data

@@ -1,0 +1,260 @@
+#include "data/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::data {
+
+Canvas::Canvas(Tensor& image) : image_(&image) {
+  ITASK_CHECK(image.ndim() == 3 && image.dim(0) == 3,
+              "Canvas: need a [3, H, W] image");
+  h_ = image.dim(1);
+  w_ = image.dim(2);
+}
+
+void Canvas::blend(int64_t x, int64_t y, float r, float g, float b,
+                   float alpha) {
+  if (x < 0 || x >= w_ || y < 0 || y >= h_) return;
+  auto px = image_->data();
+  const int64_t plane = h_ * w_;
+  const int64_t off = y * w_ + x;
+  px[off] = px[off] * (1.0f - alpha) + r * alpha;
+  px[plane + off] = px[plane + off] * (1.0f - alpha) + g * alpha;
+  px[2 * plane + off] = px[2 * plane + off] * (1.0f - alpha) + b * alpha;
+}
+
+void Canvas::fill_rect(float x0, float y0, float x1, float y1, float r,
+                       float g, float b, float alpha) {
+  const int64_t ix0 = static_cast<int64_t>(std::floor(x0));
+  const int64_t iy0 = static_cast<int64_t>(std::floor(y0));
+  const int64_t ix1 = static_cast<int64_t>(std::ceil(x1));
+  const int64_t iy1 = static_cast<int64_t>(std::ceil(y1));
+  for (int64_t y = iy0; y < iy1; ++y)
+    for (int64_t x = ix0; x < ix1; ++x) blend(x, y, r, g, b, alpha);
+}
+
+void Canvas::fill_circle(float cx, float cy, float radius, float r, float g,
+                         float b, float alpha) {
+  const int64_t ix0 = static_cast<int64_t>(std::floor(cx - radius));
+  const int64_t iy0 = static_cast<int64_t>(std::floor(cy - radius));
+  const int64_t ix1 = static_cast<int64_t>(std::ceil(cx + radius));
+  const int64_t iy1 = static_cast<int64_t>(std::ceil(cy + radius));
+  const float r2 = radius * radius;
+  for (int64_t y = iy0; y <= iy1; ++y)
+    for (int64_t x = ix0; x <= ix1; ++x) {
+      const float dx = static_cast<float>(x) + 0.5f - cx;
+      const float dy = static_cast<float>(y) + 0.5f - cy;
+      if (dx * dx + dy * dy <= r2) blend(x, y, r, g, b, alpha);
+    }
+}
+
+void Canvas::fill_triangle(float x0, float y0, float x1, float y1, float r,
+                           float g, float b, float alpha) {
+  // Apex at top-centre, base along the bottom edge of the box.
+  const float apex_x = 0.5f * (x0 + x1);
+  const int64_t iy0 = static_cast<int64_t>(std::floor(y0));
+  const int64_t iy1 = static_cast<int64_t>(std::ceil(y1));
+  const float height = std::max(y1 - y0, 1e-3f);
+  for (int64_t y = iy0; y < iy1; ++y) {
+    const float t =
+        std::clamp((static_cast<float>(y) + 0.5f - y0) / height, 0.0f, 1.0f);
+    const float half = 0.5f * (x1 - x0) * t;
+    const int64_t xs = static_cast<int64_t>(std::floor(apex_x - half));
+    const int64_t xe = static_cast<int64_t>(std::ceil(apex_x + half));
+    for (int64_t x = xs; x < xe; ++x) blend(x, y, r, g, b, alpha);
+  }
+}
+
+void Canvas::draw_line(float x0, float y0, float x1, float y1, float r,
+                       float g, float b, float thickness, float alpha) {
+  const float dx = x1 - x0, dy = y1 - y0;
+  const float len = std::max(std::sqrt(dx * dx + dy * dy), 1e-3f);
+  const int64_t steps = static_cast<int64_t>(std::ceil(len * 2.0f));
+  const float half = 0.5f * thickness;
+  for (int64_t s = 0; s <= steps; ++s) {
+    const float t = static_cast<float>(s) / static_cast<float>(steps);
+    const float px = x0 + dx * t;
+    const float py = y0 + dy * t;
+    if (thickness <= 1.0f) {
+      blend(static_cast<int64_t>(px), static_cast<int64_t>(py), r, g, b,
+            alpha);
+    } else {
+      fill_circle(px, py, half, r, g, b, alpha);
+    }
+  }
+}
+
+void class_base_color(ObjectClass cls, float& r, float& g, float& b) {
+  switch (cls) {
+    case ObjectClass::kCar:         r = 0.20f; g = 0.30f; b = 0.85f; return;
+    case ObjectClass::kPedestrian:  r = 0.80f; g = 0.40f; b = 0.30f; return;
+    case ObjectClass::kTrafficCone: r = 0.95f; g = 0.60f; b = 0.15f; return;
+    case ObjectClass::kScalpel:     r = 0.82f; g = 0.84f; b = 0.88f; return;
+    case ObjectClass::kGauze:       r = 0.92f; g = 0.92f; b = 0.88f; return;
+    case ObjectClass::kSyringe:     r = 0.75f; g = 0.80f; b = 0.86f; return;
+    case ObjectClass::kBolt:        r = 0.42f; g = 0.42f; b = 0.48f; return;
+    case ObjectClass::kCrack:       r = 0.14f; g = 0.12f; b = 0.10f; return;
+    case ObjectClass::kGear:        r = 0.45f; g = 0.45f; b = 0.50f; return;
+    case ObjectClass::kFruit:       r = 0.30f; g = 0.80f; b = 0.30f; return;
+    case ObjectClass::kBottle:      r = 0.40f; g = 0.75f; b = 0.52f; return;
+    case ObjectClass::kAnimal:      r = 0.48f; g = 0.32f; b = 0.20f; return;
+    default:                        r = 0.5f;  g = 0.5f;  b = 0.5f;  return;
+  }
+}
+
+void class_aspect(ObjectClass cls, float& aspect_w, float& aspect_h) {
+  switch (cls) {
+    case ObjectClass::kCar:         aspect_w = 1.0f; aspect_h = 0.6f; return;
+    case ObjectClass::kPedestrian:  aspect_w = 0.45f; aspect_h = 1.0f; return;
+    case ObjectClass::kTrafficCone: aspect_w = 0.8f; aspect_h = 0.9f; return;
+    case ObjectClass::kScalpel:     aspect_w = 1.0f; aspect_h = 1.0f; return;
+    case ObjectClass::kGauze:       aspect_w = 0.9f; aspect_h = 0.9f; return;
+    case ObjectClass::kSyringe:     aspect_w = 0.3f; aspect_h = 1.0f; return;
+    case ObjectClass::kBolt:        aspect_w = 0.6f; aspect_h = 0.6f; return;
+    case ObjectClass::kCrack:       aspect_w = 1.0f; aspect_h = 1.0f; return;
+    case ObjectClass::kGear:        aspect_w = 0.9f; aspect_h = 0.9f; return;
+    case ObjectClass::kFruit:       aspect_w = 0.7f; aspect_h = 0.7f; return;
+    case ObjectClass::kBottle:      aspect_w = 0.5f; aspect_h = 1.0f; return;
+    case ObjectClass::kAnimal:      aspect_w = 0.9f; aspect_h = 0.7f; return;
+    default:                        aspect_w = 0.8f; aspect_h = 0.8f; return;
+  }
+}
+
+namespace {
+
+/// Attribute-cue overlays shared by all classes.
+void render_cues(Canvas& canvas, const ObjectInstance& o) {
+  const BoxPx& bx = o.box;
+  const float metallic =
+      o.attributes[attr_index(Attribute::kMetallic)];
+  if (metallic > 0.5f) {
+    // Specular streak: a bright diagonal highlight.
+    canvas.draw_line(bx.x0() + 0.2f * bx.w, bx.y0() + 0.2f * bx.h,
+                     bx.x0() + 0.6f * bx.w, bx.y0() + 0.6f * bx.h, 1.0f, 1.0f,
+                     1.0f, 1.0f, 0.8f);
+  }
+  const float textured = o.attributes[attr_index(Attribute::kTextured)];
+  if (textured > 0.5f) {
+    // Dot pattern.
+    for (float fy = 0.25f; fy < 1.0f; fy += 0.35f)
+      for (float fx = 0.25f; fx < 1.0f; fx += 0.35f)
+        canvas.blend(static_cast<int64_t>(bx.x0() + fx * bx.w),
+                     static_cast<int64_t>(bx.y0() + fy * bx.h), 0.05f, 0.05f,
+                     0.05f, 0.9f);
+  }
+  if (o.moving) {
+    // Motion cue: bright horizontal speed-lines streaking through the
+    // object plus a fading ghost bar trailing left — the pixel-level
+    // grounding of the abstract "moving" attribute.
+    const float lr = std::min(1.0f, o.r + 0.45f);
+    const float lg = std::min(1.0f, o.g + 0.45f);
+    const float lb = std::min(1.0f, o.b + 0.45f);
+    canvas.draw_line(bx.x0() - 2.0f, bx.y0() + 0.33f * bx.h, bx.x1(),
+                     bx.y0() + 0.33f * bx.h, lr, lg, lb, 1.0f, 0.9f);
+    canvas.draw_line(bx.x0() - 2.0f, bx.y0() + 0.66f * bx.h, bx.x1(),
+                     bx.y0() + 0.66f * bx.h, lr, lg, lb, 1.0f, 0.9f);
+    for (int s = 1; s <= 2; ++s) {
+      const float alpha = 0.5f / static_cast<float>(s);
+      const float x = bx.x0() - 1.2f * static_cast<float>(s);
+      canvas.fill_rect(x, bx.y0(), x + 1.2f, bx.y1(), o.r, o.g, o.b, alpha);
+    }
+  }
+}
+
+}  // namespace
+
+void render_object(Canvas& canvas, const ObjectInstance& o) {
+  const BoxPx& bx = o.box;
+  switch (o.cls) {
+    case ObjectClass::kCar: {
+      canvas.fill_rect(bx.x0(), bx.y0() + 0.25f * bx.h, bx.x1(), bx.y1(), o.r,
+                       o.g, o.b);
+      canvas.fill_rect(bx.x0() + 0.2f * bx.w, bx.y0(), bx.x1() - 0.2f * bx.w,
+                       bx.y0() + 0.4f * bx.h, o.r * 0.7f, o.g * 0.7f,
+                       o.b * 0.7f);
+      break;
+    }
+    case ObjectClass::kPedestrian: {
+      canvas.fill_circle(bx.cx, bx.y0() + 0.18f * bx.h, 0.16f * bx.h, o.r, o.g,
+                         o.b);
+      canvas.fill_rect(bx.cx - 0.18f * bx.w, bx.y0() + 0.32f * bx.h,
+                       bx.cx + 0.18f * bx.w, bx.y1(), o.r, o.g, o.b);
+      break;
+    }
+    case ObjectClass::kTrafficCone:
+      canvas.fill_triangle(bx.x0(), bx.y0(), bx.x1(), bx.y1(), o.r, o.g, o.b);
+      break;
+    case ObjectClass::kScalpel:
+      canvas.draw_line(bx.x0(), bx.y1(), bx.x1(), bx.y0(), o.r, o.g, o.b,
+                       1.2f);
+      break;
+    case ObjectClass::kGauze:
+      canvas.fill_rect(bx.x0(), bx.y0(), bx.x1(), bx.y1(), o.r, o.g, o.b,
+                       0.85f);
+      break;
+    case ObjectClass::kSyringe:
+      canvas.draw_line(bx.cx, bx.y0(), bx.cx, bx.y1(), o.r, o.g, o.b, 1.6f);
+      canvas.draw_line(bx.cx, bx.y1() - 0.2f * bx.h, bx.cx,
+                       bx.y1(), o.r * 0.6f, o.g * 0.6f, o.b * 0.6f, 0.8f);
+      break;
+    case ObjectClass::kBolt:
+      canvas.fill_circle(bx.cx, bx.cy, 0.45f * std::min(bx.w, bx.h), o.r, o.g,
+                         o.b);
+      break;
+    case ObjectClass::kCrack: {
+      // Zig-zag dark line.
+      const float seg = bx.h / 3.0f;
+      float x = bx.x0(), y = bx.y0();
+      for (int s = 0; s < 3; ++s) {
+        const float nx = (s % 2 == 0) ? bx.x1() : bx.x0();
+        canvas.draw_line(x, y, nx, y + seg, o.r, o.g, o.b, 1.0f);
+        x = nx;
+        y += seg;
+      }
+      break;
+    }
+    case ObjectClass::kGear: {
+      const float rad = 0.42f * std::min(bx.w, bx.h);
+      canvas.fill_circle(bx.cx, bx.cy, rad, o.r, o.g, o.b);
+      for (int s = 0; s < 4; ++s) {
+        const float a = static_cast<float>(s) * 0.785398f;
+        canvas.draw_line(bx.cx - rad * std::cos(a), bx.cy - rad * std::sin(a),
+                         bx.cx + rad * std::cos(a), bx.cy + rad * std::sin(a),
+                         o.r * 1.4f, o.g * 1.4f, o.b * 1.4f, 0.8f);
+      }
+      break;
+    }
+    case ObjectClass::kFruit:
+      canvas.fill_circle(bx.cx, bx.cy, 0.48f * std::min(bx.w, bx.h), o.r, o.g,
+                         o.b);
+      canvas.draw_line(bx.cx, bx.y0(), bx.cx, bx.y0() + 0.2f * bx.h, 0.3f,
+                       0.2f, 0.1f, 0.8f);
+      break;
+    case ObjectClass::kBottle:
+      canvas.fill_rect(bx.x0(), bx.y0() + 0.25f * bx.h, bx.x1(), bx.y1(), o.r,
+                       o.g, o.b, 0.9f);
+      canvas.fill_rect(bx.cx - 0.15f * bx.w, bx.y0(), bx.cx + 0.15f * bx.w,
+                       bx.y0() + 0.3f * bx.h, o.r, o.g, o.b, 0.9f);
+      break;
+    case ObjectClass::kAnimal:
+      canvas.fill_circle(bx.cx, bx.cy + 0.1f * bx.h,
+                         0.4f * std::min(bx.w, bx.h), o.r, o.g, o.b);
+      canvas.fill_circle(bx.x0() + 0.25f * bx.w, bx.y0() + 0.25f * bx.h,
+                         0.18f * std::min(bx.w, bx.h), o.r, o.g, o.b);
+      break;
+    default:
+      break;
+  }
+  render_cues(canvas, o);
+}
+
+void render_scene(Scene& scene, Rng& rng) {
+  ITASK_CHECK(scene.image_size > 0, "render_scene: scene not initialised");
+  scene.image = Tensor({3, scene.image_size, scene.image_size});
+  // Low-amplitude background noise so "empty" is not exactly zero.
+  for (float& v : scene.image.data()) v = rng.uniform(0.05f, 0.15f);
+  Canvas canvas(scene.image);
+  for (const ObjectInstance& o : scene.objects) render_object(canvas, o);
+}
+
+}  // namespace itask::data

@@ -1,0 +1,53 @@
+// Tiny software rasterizer that draws object instances into scene images.
+// Every abstract attribute has a pixel-level cue (metallic → specular streak,
+// moving → motion trail, textured → dot pattern, …) so the detector can
+// ground attributes visually — the property the iTask evaluation relies on.
+#pragma once
+
+#include "data/scene.h"
+#include "tensor/rng.h"
+
+namespace itask::data {
+
+/// Mutable view over a [3, H, W] image tensor with drawing primitives.
+class Canvas {
+ public:
+  explicit Canvas(Tensor& image);
+
+  int64_t width() const { return w_; }
+  int64_t height() const { return h_; }
+
+  /// Alpha-blends a pixel; coordinates outside the canvas are ignored.
+  void blend(int64_t x, int64_t y, float r, float g, float b,
+             float alpha = 1.0f);
+
+  void fill_rect(float x0, float y0, float x1, float y1, float r, float g,
+                 float b, float alpha = 1.0f);
+  void fill_circle(float cx, float cy, float radius, float r, float g, float b,
+                   float alpha = 1.0f);
+  /// Upward-pointing triangle inscribed in the given box.
+  void fill_triangle(float x0, float y0, float x1, float y1, float r, float g,
+                     float b, float alpha = 1.0f);
+  void draw_line(float x0, float y0, float x1, float y1, float r, float g,
+                 float b, float thickness = 1.0f, float alpha = 1.0f);
+
+ private:
+  Tensor* image_;
+  int64_t h_;
+  int64_t w_;
+};
+
+/// Draws one object (shape chosen by its class) into the canvas, including
+/// the attribute cues derived from the instance (specular, trail, texture).
+void render_object(Canvas& canvas, const ObjectInstance& object);
+
+/// Fills the background with low-amplitude noise, then renders all objects.
+void render_scene(Scene& scene, Rng& rng);
+
+/// Canonical base colour for a class (pre-jitter).
+void class_base_color(ObjectClass cls, float& r, float& g, float& b);
+
+/// Width/height aspect (relative to the cell) the renderer uses per class.
+void class_aspect(ObjectClass cls, float& aspect_w, float& aspect_h);
+
+}  // namespace itask::data

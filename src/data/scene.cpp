@@ -1,0 +1,31 @@
+#include "data/scene.h"
+
+#include <algorithm>
+
+namespace itask::data {
+
+Tensor resolve_instance_attributes(ObjectClass cls, float scale, float r,
+                                   float g, float b, bool moving) {
+  Tensor attrs = class_attribute_prototype(cls);
+  if (cls == ObjectClass::kBackground) return attrs;
+  // Size attributes follow the rendered instance, not the class.
+  attrs[attr_index(Attribute::kLarge)] = scale > 0.85f ? 1.0f : 0.0f;
+  attrs[attr_index(Attribute::kSmall)] = scale < 0.55f ? 1.0f : 0.0f;
+  // Hue attributes follow the dominant rendered channel.
+  const float mx = std::max({r, g, b});
+  attrs[attr_index(Attribute::kRedHue)] =
+      (r == mx && r > 0.45f) ? 1.0f : 0.0f;
+  attrs[attr_index(Attribute::kGreenHue)] =
+      (g == mx && g > 0.45f) ? 1.0f : 0.0f;
+  attrs[attr_index(Attribute::kBlueHue)] =
+      (b == mx && b > 0.45f) ? 1.0f : 0.0f;
+  // Brightness attributes follow overall luminance.
+  const float lum = 0.299f * r + 0.587f * g + 0.114f * b;
+  attrs[attr_index(Attribute::kBright)] = lum > 0.65f ? 1.0f : 0.0f;
+  attrs[attr_index(Attribute::kDark)] = lum < 0.3f ? 1.0f : 0.0f;
+  // Motion is purely per-instance.
+  attrs[attr_index(Attribute::kMoving)] = moving ? 1.0f : 0.0f;
+  return attrs;
+}
+
+}  // namespace itask::data

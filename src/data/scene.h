@@ -1,0 +1,50 @@
+// Scene model: object instances with exact attribute ground truth, plus the
+// rendered image. One scene is one detection sample.
+#pragma once
+
+#include <vector>
+
+#include "data/attributes.h"
+#include "tensor/tensor.h"
+
+namespace itask::data {
+
+/// Geometry in pixel coordinates (origin top-left), boxes centre-based.
+struct BoxPx {
+  float cx = 0.0f;
+  float cy = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+
+  float x0() const { return cx - 0.5f * w; }
+  float y0() const { return cy - 0.5f * h; }
+  float x1() const { return cx + 0.5f * w; }
+  float y1() const { return cy + 0.5f * h; }
+  float area() const { return w * h; }
+};
+
+/// One placed object with its instance-resolved attribute vector.
+struct ObjectInstance {
+  ObjectClass cls = ObjectClass::kBackground;
+  int64_t cell = -1;      // grid cell index (row-major) the centre falls in
+  BoxPx box;              // pixel-space box
+  float r = 0.5f, g = 0.5f, b = 0.5f;  // base colour
+  float scale = 1.0f;     // relative size within the cell
+  bool moving = false;    // rendered with a motion trail
+  Tensor attributes;      // [kNumAttributes] instance ground truth in [0,1]
+};
+
+/// A full sample: image plus labelled objects.
+struct Scene {
+  Tensor image;                         // [C, H, W]
+  std::vector<ObjectInstance> objects;  // at most one per grid cell
+  int64_t image_size = 0;
+  int64_t grid = 0;                     // cells per side
+};
+
+/// Resolves the instance attribute vector from the class prototype plus
+/// instance properties (size / hue / motion overrides).
+Tensor resolve_instance_attributes(ObjectClass cls, float scale, float r,
+                                   float g, float b, bool moving);
+
+}  // namespace itask::data

@@ -1,0 +1,104 @@
+#include "data/tasks.h"
+
+namespace itask::data {
+
+namespace {
+
+Tensor weights(std::initializer_list<std::pair<Attribute, float>> entries) {
+  Tensor w({kNumAttributes});
+  for (const auto& [attr, value] : entries) w[attr_index(attr)] = value;
+  return w;
+}
+
+std::vector<TaskSpec> build_library() {
+  std::vector<TaskSpec> tasks;
+  auto add = [&](std::string name, std::string description, Tensor pos,
+                 Tensor neg, float threshold) {
+    TaskSpec t;
+    t.id = static_cast<int64_t>(tasks.size());
+    t.name = std::move(name);
+    t.description = std::move(description);
+    t.positive = std::move(pos);
+    t.negative = std::move(neg);
+    t.threshold = threshold;
+    tasks.push_back(std::move(t));
+  };
+
+  add("driving_hazards",
+      "Detect hazardous obstacles and moving traffic participants that an "
+      "autonomous vehicle must avoid on the road.",
+      weights({{Attribute::kHazardous, 1.0f}, {Attribute::kMoving, 0.6f}}),
+      weights({{Attribute::kSmall, 0.4f}}), 0.9f);
+
+  add("surgical_sharps",
+      "Find sharp metallic surgical instruments laid out on the operating "
+      "tray before closing.",
+      weights({{Attribute::kSharp, 0.6f},
+               {Attribute::kMetallic, 0.5f},
+               {Attribute::kSmall, 0.3f}}),
+      Tensor({kNumAttributes}), 1.0f);
+
+  add("fragile_items",
+      "Identify fragile items that require careful handling and protective "
+      "packaging in the warehouse.",
+      weights({{Attribute::kFragile, 1.0f}}), Tensor({kNumAttributes}), 0.9f);
+
+  add("organic_produce",
+      "Pick out round organic produce items for the automated harvest "
+      "sorting line.",
+      weights({{Attribute::kOrganic, 0.7f}, {Attribute::kRound, 0.5f}}),
+      Tensor({kNumAttributes}), 1.05f);
+
+  add("metal_fasteners",
+      "Locate small metallic fasteners and textured machine parts on the "
+      "factory inspection belt.",
+      weights({{Attribute::kMetallic, 0.7f},
+               {Attribute::kSmall, 0.5f},
+               {Attribute::kTextured, 0.35f}}),
+      weights({{Attribute::kSharp, 0.4f}}), 0.9f);
+
+  add("structural_defects",
+      "Find dark elongated structural defects such as cracks in the "
+      "inspected surface.",
+      weights({{Attribute::kHazardous, 0.4f},
+               {Attribute::kDark, 0.4f},
+               {Attribute::kElongated, 0.4f}}),
+      Tensor({kNumAttributes}), 0.9f);
+
+  add("bright_markers",
+      "Detect bright high-visibility markers and signage in the work zone.",
+      weights({{Attribute::kBright, 1.0f}}),
+      weights({{Attribute::kOrganic, 0.3f}}), 0.9f);
+
+  add("moving_entities",
+      "Track moving entities passing through the monitored area in "
+      "real time.",
+      weights({{Attribute::kMoving, 1.0f}}), Tensor({kNumAttributes}), 0.9f);
+
+  return tasks;
+}
+
+}  // namespace
+
+float TaskSpec::score(const Tensor& attributes) const {
+  ITASK_CHECK(attributes.numel() == kNumAttributes,
+              "TaskSpec::score: attribute vector size mismatch");
+  float s = 0.0f;
+  for (int64_t i = 0; i < kNumAttributes; ++i)
+    s += attributes[i] * (positive[i] - negative[i]);
+  return s;
+}
+
+const std::vector<TaskSpec>& task_library() {
+  static const std::vector<TaskSpec> kLibrary = build_library();
+  return kLibrary;
+}
+
+const TaskSpec& task_by_id(int64_t id) {
+  const auto& lib = task_library();
+  ITASK_CHECK(id >= 0 && id < static_cast<int64_t>(lib.size()),
+              "task_by_id: unknown task id");
+  return lib[static_cast<size_t>(id)];
+}
+
+}  // namespace itask::data

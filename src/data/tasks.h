@@ -1,0 +1,42 @@
+// Task specifications: the "missions" iTask detects objects for.
+//
+// A task is defined at the *attribute* level: positive/negative weights over
+// the abstract attribute vocabulary plus a relevance threshold. Ground-truth
+// relevance of an object is a deterministic predicate on its instance
+// attributes — this is what makes the evaluation of knowledge-graph-guided
+// detection exact. The natural-language `description` is what the simulated
+// LLM (llm::Oracle) consumes to regenerate an approximate knowledge graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/attributes.h"
+#include "tensor/tensor.h"
+
+namespace itask::data {
+
+struct TaskSpec {
+  int64_t id = -1;
+  std::string name;
+  std::string description;  // natural-language mission statement
+  Tensor positive;          // [kNumAttributes] importance weights
+  Tensor negative;          // [kNumAttributes] exclusion weights
+  float threshold = 0.9f;
+
+  /// Relevance score of an attribute vector under this task.
+  float score(const Tensor& attributes) const;
+
+  /// Ground-truth relevance predicate.
+  bool is_relevant(const Tensor& attributes) const {
+    return score(attributes) >= threshold;
+  }
+};
+
+/// The eight canonical evaluation tasks (stable ids 0..7).
+const std::vector<TaskSpec>& task_library();
+
+/// Lookup by id; throws when out of range.
+const TaskSpec& task_by_id(int64_t id);
+
+}  // namespace itask::data

@@ -1,0 +1,78 @@
+#include "detect/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "data/attributes.h"
+
+namespace itask::detect {
+
+namespace {
+
+// Dark → bright luminance ramp.
+constexpr char kRamp[] = " .:-=+*%@";
+constexpr int kRampMax = 8;
+
+}  // namespace
+
+std::string render_ascii(const data::Scene& scene,
+                         const std::vector<Detection>& detections) {
+  const int64_t h = scene.image.dim(1);
+  const int64_t w = scene.image.dim(2);
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  auto px = scene.image.data();
+  const int64_t plane = h * w;
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const float lum = 0.299f * px[y * w + x] +
+                        0.587f * px[plane + y * w + x] +
+                        0.114f * px[2 * plane + y * w + x];
+      const int level = std::clamp(
+          static_cast<int>(std::lround(lum * kRampMax)), 0, kRampMax);
+      grid[static_cast<size_t>(y)][static_cast<size_t>(x)] = kRamp[level];
+    }
+  }
+  // Overlay detection boxes.
+  for (const Detection& d : detections) {
+    const int64_t x0 = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(d.box.x0())), 0, w - 1);
+    const int64_t x1 = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(d.box.x1())) - 1, 0, w - 1);
+    const int64_t y0 = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(d.box.y0())), 0, h - 1);
+    const int64_t y1 = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(d.box.y1())) - 1, 0, h - 1);
+    for (int64_t x = x0; x <= x1; ++x) {
+      grid[static_cast<size_t>(y0)][static_cast<size_t>(x)] = '#';
+      grid[static_cast<size_t>(y1)][static_cast<size_t>(x)] = '#';
+    }
+    for (int64_t y = y0; y <= y1; ++y) {
+      grid[static_cast<size_t>(y)][static_cast<size_t>(x0)] = '#';
+      grid[static_cast<size_t>(y)][static_cast<size_t>(x1)] = '#';
+    }
+  }
+  std::ostringstream os;
+  os << '+' << std::string(static_cast<size_t>(w), '-') << "+\n";
+  for (const std::string& row : grid) os << '|' << row << "|\n";
+  os << '+' << std::string(static_cast<size_t>(w), '-') << "+\n";
+  os << "ground truth:";
+  for (const data::ObjectInstance& o : scene.objects)
+    os << ' ' << data::class_name(o.cls) << "@cell" << o.cell;
+  os << '\n';
+  return os.str();
+}
+
+std::string describe(const Detection& detection) {
+  std::ostringstream os;
+  os << "cell " << detection.cell << " class="
+     << data::class_name(
+            static_cast<data::ObjectClass>(detection.predicted_class))
+     << " obj=" << detection.objectness
+     << " task_score=" << detection.task_score
+     << " conf=" << detection.confidence;
+  return os.str();
+}
+
+}  // namespace itask::detect

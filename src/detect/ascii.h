@@ -1,0 +1,23 @@
+// Terminal visualisation of scenes and detections — lets examples (and
+// humans debugging the pipeline) see what the detector sees without an
+// image viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/scene.h"
+#include "detect/detection.h"
+
+namespace itask::detect {
+
+/// Renders the image as an ASCII luminance map (one char per pixel) with
+/// detection boxes overlaid as '#' corners/edges. Ground-truth objects are
+/// annotated below the map.
+std::string render_ascii(const data::Scene& scene,
+                         const std::vector<Detection>& detections);
+
+/// One-line description of a detection ("cell 4 class=scalpel conf=0.93").
+std::string describe(const Detection& detection);
+
+}  // namespace itask::detect

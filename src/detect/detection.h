@@ -1,0 +1,32 @@
+// Detection types shared by the decoder, NMS, metrics, and the core pipeline.
+#pragma once
+
+#include <vector>
+
+#include "data/scene.h"
+#include "tensor/tensor.h"
+
+namespace itask::detect {
+
+using data::BoxPx;
+
+/// One decoded candidate detection.
+struct Detection {
+  BoxPx box;
+  int64_t cell = -1;
+  int64_t predicted_class = 0;
+  float objectness = 0.0f;   // sigmoid(objectness logit)
+  float task_score = 0.0f;   // knowledge-graph relevance score
+  float confidence = 0.0f;   // ranking key (objectness × task confidence)
+  Tensor attr_probs;         // [A]
+  Tensor class_probs;        // [C]
+};
+
+/// Ground truth for evaluation: a box plus its task-relevance flag.
+struct GroundTruthObject {
+  BoxPx box;
+  int64_t cls = 0;
+  bool task_relevant = false;
+};
+
+}  // namespace itask::detect

@@ -1,0 +1,207 @@
+#include "detect/metrics.h"
+
+#include <algorithm>
+
+#include "detect/nms.h"
+#include "tensor/tensor.h"  // ITASK_CHECK
+
+namespace itask::detect {
+
+namespace {
+
+struct ScoredMatch {
+  float confidence = 0.0f;
+  bool is_tp = false;
+  float iou_value = 0.0f;
+};
+
+}  // namespace
+
+EvalResult evaluate(const std::vector<std::vector<Detection>>& detections,
+                    const std::vector<std::vector<GroundTruthObject>>& truth,
+                    float iou_threshold) {
+  ITASK_CHECK(detections.size() == truth.size(),
+              "evaluate: scene count mismatch");
+  EvalResult result;
+  std::vector<ScoredMatch> matches;
+  int64_t total_relevant = 0;
+
+  for (size_t s = 0; s < detections.size(); ++s) {
+    const auto& gt = truth[s];
+    for (const GroundTruthObject& g : gt)
+      if (g.task_relevant) ++total_relevant;
+
+    // Greedy matching in confidence order.
+    std::vector<Detection> dets = detections[s];
+    std::sort(dets.begin(), dets.end(),
+              [](const Detection& a, const Detection& b) {
+                return a.confidence > b.confidence;
+              });
+    std::vector<bool> taken(gt.size(), false);
+    for (const Detection& d : dets) {
+      int best = -1;
+      float best_iou = iou_threshold;
+      for (size_t gi = 0; gi < gt.size(); ++gi) {
+        if (taken[gi] || !gt[gi].task_relevant) continue;
+        const float v = iou(d.box, gt[gi].box);
+        if (v >= best_iou) {
+          best_iou = v;
+          best = static_cast<int>(gi);
+        }
+      }
+      if (best >= 0) {
+        taken[static_cast<size_t>(best)] = true;
+        matches.push_back({d.confidence, true, best_iou});
+      } else {
+        matches.push_back({d.confidence, false, 0.0f});
+      }
+    }
+  }
+
+  // Operating-point statistics (all returned detections count).
+  double iou_sum = 0.0;
+  for (const ScoredMatch& m : matches) {
+    if (m.is_tp) {
+      ++result.true_positives;
+      iou_sum += m.iou_value;
+    } else {
+      ++result.false_positives;
+    }
+  }
+  result.false_negatives = total_relevant - result.true_positives;
+  const int64_t det_count = result.true_positives + result.false_positives;
+  result.precision =
+      det_count > 0
+          ? static_cast<float>(result.true_positives) /
+                static_cast<float>(det_count)
+          : (total_relevant == 0 ? 1.0f : 0.0f);
+  result.recall = total_relevant > 0
+                      ? static_cast<float>(result.true_positives) /
+                            static_cast<float>(total_relevant)
+                      : 1.0f;
+  result.f1 = (result.precision + result.recall) > 0.0f
+                  ? 2.0f * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0f;
+  result.mean_iou = result.true_positives > 0
+                        ? static_cast<float>(iou_sum) /
+                              static_cast<float>(result.true_positives)
+                        : 0.0f;
+
+  // All-point interpolated AP over the confidence sweep.
+  if (total_relevant == 0) {
+    result.average_precision = det_count == 0 ? 1.0f : 0.0f;
+    return result;
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<float> precisions, recalls;
+  int64_t tp = 0, fp = 0;
+  for (const ScoredMatch& m : matches) {
+    if (m.is_tp) ++tp; else ++fp;
+    precisions.push_back(static_cast<float>(tp) /
+                         static_cast<float>(tp + fp));
+    recalls.push_back(static_cast<float>(tp) /
+                      static_cast<float>(total_relevant));
+  }
+  // Make precision monotone non-increasing from the right.
+  for (int64_t i = static_cast<int64_t>(precisions.size()) - 2; i >= 0; --i)
+    precisions[static_cast<size_t>(i)] =
+        std::max(precisions[static_cast<size_t>(i)],
+                 precisions[static_cast<size_t>(i + 1)]);
+  float ap = 0.0f;
+  float prev_recall = 0.0f;
+  for (size_t i = 0; i < precisions.size(); ++i) {
+    ap += (recalls[i] - prev_recall) * precisions[i];
+    prev_recall = recalls[i];
+  }
+  result.average_precision = ap;
+  return result;
+}
+
+std::vector<PrPoint> pr_curve(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GroundTruthObject>>& truth,
+    float iou_threshold) {
+  ITASK_CHECK(detections.size() == truth.size(),
+              "pr_curve: scene count mismatch");
+  // Re-run the greedy matching to label each detection TP/FP.
+  std::vector<ScoredMatch> matches;
+  int64_t total_relevant = 0;
+  for (size_t s = 0; s < detections.size(); ++s) {
+    const auto& gt = truth[s];
+    for (const GroundTruthObject& g : gt)
+      if (g.task_relevant) ++total_relevant;
+    std::vector<Detection> dets = detections[s];
+    std::sort(dets.begin(), dets.end(),
+              [](const Detection& a, const Detection& b) {
+                return a.confidence > b.confidence;
+              });
+    std::vector<bool> taken(gt.size(), false);
+    for (const Detection& d : dets) {
+      int best = -1;
+      float best_iou = iou_threshold;
+      for (size_t gi = 0; gi < gt.size(); ++gi) {
+        if (taken[gi] || !gt[gi].task_relevant) continue;
+        const float v = iou(d.box, gt[gi].box);
+        if (v >= best_iou) {
+          best_iou = v;
+          best = static_cast<int>(gi);
+        }
+      }
+      if (best >= 0) taken[static_cast<size_t>(best)] = true;
+      matches.push_back({d.confidence, best >= 0, best_iou});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<PrPoint> curve;
+  int64_t tp = 0, fp = 0;
+  for (const ScoredMatch& m : matches) {
+    if (m.is_tp) ++tp; else ++fp;
+    PrPoint point;
+    point.confidence = m.confidence;
+    point.precision = static_cast<float>(tp) / static_cast<float>(tp + fp);
+    point.recall = total_relevant > 0
+                       ? static_cast<float>(tp) /
+                             static_cast<float>(total_relevant)
+                       : 1.0f;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::map<int64_t, EvalResult> evaluate_per_class(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GroundTruthObject>>& truth,
+    float iou_threshold) {
+  ITASK_CHECK(detections.size() == truth.size(),
+              "evaluate_per_class: scene count mismatch");
+  // Collect the class universe.
+  std::map<int64_t, bool> classes;
+  for (const auto& scene : detections)
+    for (const Detection& d : scene) classes[d.predicted_class] = true;
+  for (const auto& scene : truth)
+    for (const GroundTruthObject& g : scene)
+      if (g.task_relevant) classes[g.cls] = true;
+
+  std::map<int64_t, EvalResult> results;
+  for (const auto& [cls, _] : classes) {
+    std::vector<std::vector<Detection>> d_cls(detections.size());
+    std::vector<std::vector<GroundTruthObject>> t_cls(truth.size());
+    for (size_t s = 0; s < detections.size(); ++s) {
+      for (const Detection& d : detections[s])
+        if (d.predicted_class == cls) d_cls[s].push_back(d);
+      for (const GroundTruthObject& g : truth[s])
+        if (g.cls == cls) t_cls[s].push_back(g);
+    }
+    results.emplace(cls, evaluate(d_cls, t_cls, iou_threshold));
+  }
+  return results;
+}
+
+}  // namespace itask::detect

@@ -1,0 +1,55 @@
+// Detection evaluation: greedy IoU matching, precision/recall/F1 at a fixed
+// operating point, and all-point-interpolated average precision.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "detect/detection.h"
+
+namespace itask::detect {
+
+struct EvalResult {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  float precision = 0.0f;
+  float recall = 0.0f;
+  float f1 = 0.0f;
+  float average_precision = 0.0f;  // AP over the confidence sweep
+  float mean_iou = 0.0f;           // mean IoU of matched pairs
+};
+
+/// Evaluates per-scene detections against per-scene ground truth. Only
+/// ground-truth objects with `task_relevant == true` count as targets; a
+/// detection matching a non-relevant object is a false positive (the
+/// task-oriented part of the metric). Matching is greedy in confidence
+/// order at the given IoU threshold.
+EvalResult evaluate(const std::vector<std::vector<Detection>>& detections,
+                    const std::vector<std::vector<GroundTruthObject>>& truth,
+                    float iou_threshold = 0.5f);
+
+/// One operating point of the precision/recall curve.
+struct PrPoint {
+  float confidence = 0.0f;  // threshold at/above which detections count
+  float precision = 0.0f;
+  float recall = 0.0f;
+};
+
+/// The full precision/recall sweep (sorted by descending confidence, one
+/// point per detection). Integrating the monotone-envelope of this curve
+/// yields EvalResult::average_precision (tested).
+std::vector<PrPoint> pr_curve(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GroundTruthObject>>& truth,
+    float iou_threshold = 0.5f);
+
+/// Per-predicted-class evaluation: splits detections by predicted_class and
+/// ground truth by cls, then evaluates each class independently. Classes
+/// with neither detections nor relevant truth are omitted.
+std::map<int64_t, EvalResult> evaluate_per_class(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GroundTruthObject>>& truth,
+    float iou_threshold = 0.5f);
+
+}  // namespace itask::detect

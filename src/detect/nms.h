@@ -1,0 +1,19 @@
+// Intersection-over-union and greedy non-maximum suppression.
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.h"
+
+namespace itask::detect {
+
+/// IoU of two centre-based pixel boxes; 0 when either is degenerate.
+float iou(const BoxPx& a, const BoxPx& b);
+
+/// Greedy NMS: keeps detections in descending confidence order, suppressing
+/// any detection whose IoU with an already-kept one exceeds `iou_threshold`.
+/// Returns the kept detections, still sorted by confidence.
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold = 0.5f);
+
+}  // namespace itask::detect

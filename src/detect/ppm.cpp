@@ -1,0 +1,90 @@
+#include "detect/ppm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace itask::detect {
+
+namespace {
+
+uint8_t to_byte(float v) {
+  return static_cast<uint8_t>(
+      std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+}
+
+void write_ppm(const std::vector<uint8_t>& rgb, int64_t w, int64_t h,
+               const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_ppm: cannot open " + path);
+  os << "P6\n" << w << ' ' << h << "\n255\n";
+  os.write(reinterpret_cast<const char*>(rgb.data()),
+           static_cast<std::streamsize>(rgb.size()));
+  if (!os) throw std::runtime_error("save_ppm: write failure " + path);
+}
+
+std::vector<uint8_t> rasterize(const Tensor& image, int64_t upscale) {
+  ITASK_CHECK(image.ndim() == 3 && image.dim(0) == 3,
+              "save_ppm: need [3, H, W]");
+  ITASK_CHECK(upscale >= 1, "save_ppm: upscale must be >= 1");
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  const int64_t plane = h * w;
+  auto px = image.data();
+  std::vector<uint8_t> rgb(static_cast<size_t>(3 * h * upscale * w * upscale));
+  for (int64_t y = 0; y < h * upscale; ++y) {
+    for (int64_t x = 0; x < w * upscale; ++x) {
+      const int64_t sy = y / upscale;
+      const int64_t sx = x / upscale;
+      const size_t out = static_cast<size_t>(3 * (y * w * upscale + x));
+      rgb[out + 0] = to_byte(px[sy * w + sx]);
+      rgb[out + 1] = to_byte(px[plane + sy * w + sx]);
+      rgb[out + 2] = to_byte(px[2 * plane + sy * w + sx]);
+    }
+  }
+  return rgb;
+}
+
+}  // namespace
+
+void save_ppm(const Tensor& image, const std::string& path, int64_t upscale) {
+  const int64_t h = image.dim(1) * upscale;
+  const int64_t w = image.dim(2) * upscale;
+  write_ppm(rasterize(image, upscale), w, h, path);
+}
+
+void save_ppm_with_detections(
+    const Tensor& image, const std::vector<Detection>& detections,
+    const std::string& path, int64_t upscale) {
+  std::vector<uint8_t> rgb = rasterize(image, upscale);
+  const int64_t h = image.dim(1) * upscale;
+  const int64_t w = image.dim(2) * upscale;
+  auto put_red = [&](int64_t x, int64_t y) {
+    if (x < 0 || x >= w || y < 0 || y >= h) return;
+    const size_t out = static_cast<size_t>(3 * (y * w + x));
+    rgb[out + 0] = 255;
+    rgb[out + 1] = 32;
+    rgb[out + 2] = 32;
+  };
+  for (const Detection& d : detections) {
+    const int64_t x0 = static_cast<int64_t>(
+        std::lround(d.box.x0() * static_cast<double>(upscale)));
+    const int64_t x1 = static_cast<int64_t>(
+        std::lround(d.box.x1() * static_cast<double>(upscale)));
+    const int64_t y0 = static_cast<int64_t>(
+        std::lround(d.box.y0() * static_cast<double>(upscale)));
+    const int64_t y1 = static_cast<int64_t>(
+        std::lround(d.box.y1() * static_cast<double>(upscale)));
+    for (int64_t x = x0; x <= x1; ++x) {
+      put_red(x, y0);
+      put_red(x, y1);
+    }
+    for (int64_t y = y0; y <= y1; ++y) {
+      put_red(x0, y);
+      put_red(x1, y);
+    }
+  }
+  write_ppm(rgb, w, h, path);
+}
+
+}  // namespace itask::detect

@@ -1,0 +1,23 @@
+// PPM (portable pixmap) export of scenes and detection overlays — produces
+// real image artifacts from the synthetic domain for inspection and papers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/scene.h"
+#include "detect/detection.h"
+
+namespace itask::detect {
+
+/// Writes a [3, H, W] image tensor (values clamped to [0, 1]) as binary PPM.
+/// `upscale` repeats each pixel to make 24 px scenes viewable.
+void save_ppm(const Tensor& image, const std::string& path,
+              int64_t upscale = 8);
+
+/// Same, with detection boxes burned in as red outlines.
+void save_ppm_with_detections(
+    const Tensor& image, const std::vector<Detection>& detections,
+    const std::string& path, int64_t upscale = 8);
+
+}  // namespace itask::detect

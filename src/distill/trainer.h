@@ -1,0 +1,78 @@
+// Supervised multi-head training of the detection ViT, and the shared loss
+// assembly used by both plain training and distillation.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "vit/model.h"
+
+namespace itask::distill {
+
+struct TrainerOptions {
+  int64_t epochs = 6;
+  int64_t batch_size = 16;
+  float lr = 3e-3f;
+  float lr_min_fraction = 0.05f;  // cosine-decay floor as a fraction of lr
+  float warmup_fraction = 0.05f;  // fraction of steps spent in linear warmup
+  float weight_decay = 1e-4f;
+  float grad_clip = 5.0f;
+  // Per-head loss weights.
+  float w_objectness = 1.0f;
+  float w_class = 1.0f;
+  float w_attributes = 1.5f;
+  float w_box = 2.5f;
+  float w_relevance = 0.0f;  // > 0 only when training a task-specific model
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct StepLosses {
+  float objectness = 0.0f;
+  float classification = 0.0f;
+  float attributes = 0.0f;
+  float box = 0.0f;
+  float relevance = 0.0f;
+  float total() const {
+    return objectness + classification + attributes + box + relevance;
+  }
+};
+
+struct TrainStats {
+  int64_t steps = 0;
+  StepLosses first;
+  StepLosses last;
+};
+
+/// Computes all supervised head losses for a batch and fills the gradient
+/// struct (weighted). `task` supplies relevance targets when
+/// options.w_relevance > 0.
+StepLosses supervised_losses(const vit::VitOutput& output,
+                             const data::Batch& batch,
+                             const TrainerOptions& options,
+                             vit::VitOutputGrads& grads);
+
+/// Mini-batch training loop over a dataset. When `task` is non-null the
+/// batch carries relevance targets (enable via options.w_relevance).
+class Trainer {
+ public:
+  Trainer(vit::VitModel& model, TrainerOptions options);
+
+  TrainStats fit(const data::Dataset& dataset,
+                 const data::TaskSpec* task = nullptr);
+
+  /// One optimization step on an explicit index set; returns its losses.
+  StepLosses step(const data::Dataset& dataset,
+                  std::span<const int64_t> indices,
+                  const data::TaskSpec* task = nullptr);
+
+ private:
+  vit::VitModel& model_;
+  TrainerOptions options_;
+  nn::Adam optimizer_;
+  Rng rng_;
+};
+
+}  // namespace itask::distill

@@ -1,0 +1,94 @@
+#include "kg/graph.h"
+
+#include <array>
+#include <sstream>
+
+#include "tensor/tensor.h"  // for ITASK_CHECK
+
+namespace itask::kg {
+
+const std::string& node_type_name(NodeType t) {
+  static const std::array<std::string, 4> kNames = {"task", "attribute",
+                                                    "class", "concept"};
+  return kNames[static_cast<size_t>(t)];
+}
+
+const std::string& relation_name(Relation r) {
+  static const std::array<std::string, 4> kNames = {"requires", "excludes",
+                                                    "has_attribute",
+                                                    "related_to"};
+  return kNames[static_cast<size_t>(r)];
+}
+
+NodeId KnowledgeGraph::add_node(NodeType type, std::string label) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.type = type;
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void KnowledgeGraph::add_edge(NodeId src, NodeId dst, Relation relation,
+                              float weight) {
+  ITASK_CHECK(src >= 0 && src < node_count(), "add_edge: bad src node");
+  ITASK_CHECK(dst >= 0 && dst < node_count(), "add_edge: bad dst node");
+  edges_.push_back(Edge{src, dst, relation, weight});
+}
+
+void KnowledgeGraph::set_property(NodeId node, const std::string& key,
+                                  float value) {
+  ITASK_CHECK(node >= 0 && node < node_count(), "set_property: bad node");
+  nodes_[static_cast<size_t>(node)].properties[key] = value;
+}
+
+std::optional<float> KnowledgeGraph::property(NodeId node,
+                                              const std::string& key) const {
+  ITASK_CHECK(node >= 0 && node < node_count(), "property: bad node");
+  const auto& props = nodes_[static_cast<size_t>(node)].properties;
+  const auto it = props.find(key);
+  if (it == props.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId KnowledgeGraph::find(const std::string& label,
+                            std::optional<NodeType> type) const {
+  for (const Node& n : nodes_) {
+    if (n.label == label && (!type.has_value() || n.type == *type))
+      return n.id;
+  }
+  return kInvalidNode;
+}
+
+const Node& KnowledgeGraph::node(NodeId id) const {
+  ITASK_CHECK(id >= 0 && id < node_count(), "node: bad id");
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<Edge> KnowledgeGraph::edges_from(
+    NodeId src, std::optional<Relation> relation) const {
+  std::vector<Edge> out;
+  for (const Edge& e : edges_) {
+    if (e.src == src && (!relation.has_value() || e.relation == *relation))
+      out.push_back(e);
+  }
+  return out;
+}
+
+std::string KnowledgeGraph::to_text() const {
+  std::ostringstream os;
+  os << "KnowledgeGraph: " << node_count() << " nodes, " << edge_count()
+     << " edges\n";
+  for (const Node& n : nodes_) {
+    os << "  [" << n.id << "] " << node_type_name(n.type) << ":" << n.label;
+    for (const auto& [k, v] : n.properties) os << " {" << k << "=" << v << "}";
+    os << '\n';
+  }
+  for (const Edge& e : edges_) {
+    os << "  " << node(e.src).label << " --" << relation_name(e.relation)
+       << "(" << e.weight << ")--> " << node(e.dst).label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace itask::kg

@@ -1,0 +1,91 @@
+// The abstract knowledge graph at the heart of iTask: typed nodes (task,
+// attribute, object class, concept) connected by weighted, typed edges.
+// The simulated LLM (llm::Oracle) *produces* these graphs; the matcher
+// (kg/matcher.h) *consumes* them to score detections for task relevance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace itask::kg {
+
+using NodeId = int64_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeType : int8_t {
+  kTask = 0,
+  kAttribute,
+  kObjectClass,
+  kConcept,
+};
+
+enum class Relation : int8_t {
+  kRequires = 0,   // task   -> attribute (positive importance)
+  kExcludes,       // task   -> attribute (negative importance)
+  kHasAttribute,   // class  -> attribute (ontological knowledge)
+  kRelatedTo,      // concept-level association
+};
+
+const std::string& node_type_name(NodeType t);
+const std::string& relation_name(Relation r);
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeType type = NodeType::kConcept;
+  std::string label;
+  /// Free-form numeric properties (e.g. "threshold" on task nodes).
+  std::map<std::string, float> properties;
+};
+
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Relation relation = Relation::kRelatedTo;
+  float weight = 1.0f;
+};
+
+/// A small in-memory property graph with label lookup and typed queries.
+class KnowledgeGraph {
+ public:
+  NodeId add_node(NodeType type, std::string label);
+  void add_edge(NodeId src, NodeId dst, Relation relation, float weight);
+
+  /// Sets / reads a numeric property on a node.
+  void set_property(NodeId node, const std::string& key, float value);
+  std::optional<float> property(NodeId node, const std::string& key) const;
+
+  /// First node with the given label (and type, if provided).
+  NodeId find(const std::string& label,
+              std::optional<NodeType> type = std::nullopt) const;
+
+  const Node& node(NodeId id) const;
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t edge_count() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing edges of `src`, optionally filtered by relation.
+  std::vector<Edge> edges_from(NodeId src,
+                               std::optional<Relation> relation =
+                                   std::nullopt) const;
+
+  /// Removes edges for which `predicate` returns true; returns removed count.
+  template <typename Pred>
+  int64_t remove_edges_if(Pred&& predicate) {
+    const auto before = edges_.size();
+    std::erase_if(edges_, predicate);
+    return static_cast<int64_t>(before - edges_.size());
+  }
+
+  /// Human-readable multi-line dump (stable ordering; used in examples).
+  std::string to_text() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace itask::kg

@@ -1,0 +1,156 @@
+#include "kg/logic.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace itask::kg {
+
+TaskExpr TaskExpr::attribute(int64_t index) {
+  ITASK_CHECK(index >= 0, "TaskExpr: negative attribute index");
+  TaskExpr e;
+  e.kind_ = Kind::kAttribute;
+  e.attribute_ = index;
+  return e;
+}
+
+TaskExpr TaskExpr::conjunction(std::vector<TaskExpr> operands) {
+  ITASK_CHECK(!operands.empty(), "TaskExpr: empty conjunction");
+  TaskExpr e;
+  e.kind_ = Kind::kAnd;
+  e.operands_ = std::move(operands);
+  return e;
+}
+
+TaskExpr TaskExpr::disjunction(std::vector<TaskExpr> operands) {
+  ITASK_CHECK(!operands.empty(), "TaskExpr: empty disjunction");
+  TaskExpr e;
+  e.kind_ = Kind::kOr;
+  e.operands_ = std::move(operands);
+  return e;
+}
+
+TaskExpr TaskExpr::negation(TaskExpr operand) {
+  TaskExpr e;
+  e.kind_ = Kind::kNot;
+  e.operands_.push_back(std::move(operand));
+  return e;
+}
+
+float TaskExpr::evaluate(const Tensor& attr_probs) const {
+  switch (kind_) {
+    case Kind::kAttribute: {
+      ITASK_CHECK(attribute_ < attr_probs.numel(),
+                  "TaskExpr: attribute index out of range");
+      return std::clamp(attr_probs[attribute_], 0.0f, 1.0f);
+    }
+    case Kind::kAnd: {
+      float v = 1.0f;
+      for (const TaskExpr& op : operands_) v *= op.evaluate(attr_probs);
+      return v;
+    }
+    case Kind::kOr: {
+      // Probabilistic sum: 1 - prod(1 - x).
+      float inv = 1.0f;
+      for (const TaskExpr& op : operands_)
+        inv *= 1.0f - op.evaluate(attr_probs);
+      return 1.0f - inv;
+    }
+    case Kind::kNot:
+      return 1.0f - operands_.front().evaluate(attr_probs);
+  }
+  return 0.0f;
+}
+
+std::string TaskExpr::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kAttribute:
+      os << "attr:" << attribute_;
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      os << '(' << (kind_ == Kind::kAnd ? "and"
+                                        : kind_ == Kind::kOr ? "or" : "not");
+      for (const TaskExpr& op : operands_) os << ' ' << op.to_string();
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+int64_t TaskExpr::max_attribute() const {
+  if (kind_ == Kind::kAttribute) return attribute_;
+  int64_t mx = -1;
+  for (const TaskExpr& op : operands_)
+    mx = std::max(mx, op.max_attribute());
+  return mx;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  void skip_space() {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::invalid_argument("TaskExpr::parse: " + why + " at offset " +
+                                std::to_string(pos));
+  }
+
+  std::string token() {
+    skip_space();
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != ' ' && text[pos] != '(' &&
+           text[pos] != ')')
+      ++pos;
+    if (start == pos) fail("expected token");
+    return text.substr(start, pos - start);
+  }
+
+  TaskExpr expr() {
+    skip_space();
+    if (pos >= text.size()) fail("unexpected end of input");
+    if (text[pos] == '(') {
+      ++pos;
+      const std::string op = token();
+      std::vector<TaskExpr> operands;
+      skip_space();
+      while (pos < text.size() && text[pos] != ')') {
+        operands.push_back(expr());
+        skip_space();
+      }
+      if (pos >= text.size()) fail("missing ')'");
+      ++pos;  // consume ')'
+      if (op == "and") return TaskExpr::conjunction(std::move(operands));
+      if (op == "or") return TaskExpr::disjunction(std::move(operands));
+      if (op == "not") {
+        if (operands.size() != 1) fail("not takes exactly one operand");
+        return TaskExpr::negation(std::move(operands.front()));
+      }
+      fail("unknown operator '" + op + "'");
+    }
+    const std::string leaf = token();
+    if (leaf.rfind("attr:", 0) != 0) fail("expected attr:<i> leaf");
+    return TaskExpr::attribute(
+        std::strtoll(leaf.c_str() + 5, nullptr, 10));
+  }
+};
+
+}  // namespace
+
+TaskExpr TaskExpr::parse(const std::string& text) {
+  Parser parser{text};
+  TaskExpr result = parser.expr();
+  parser.skip_space();
+  if (parser.pos != text.size())
+    throw std::invalid_argument("TaskExpr::parse: trailing input");
+  return result;
+}
+
+}  // namespace itask::kg

@@ -1,0 +1,66 @@
+// Composite missions: soft boolean logic over attribute evidence.
+//
+// The linear matcher (matcher.h) covers weighted-sum missions; real
+// deployments compose requirements — "sharp AND (metallic OR bright), NOT
+// organic". This module adds an expression tree evaluated with product
+// t-norm soft logic over attribute probabilities:
+//   AND(a, b) = a·b     OR(a, b) = a + b − a·b     NOT(a) = 1 − a
+// so perfectly confident predictions reproduce crisp boolean semantics and
+// soft predictions degrade smoothly. Expressions serialize to a LISP-ish
+// text form for persistence alongside the knowledge graph.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace itask::kg {
+
+/// Immutable soft-logic expression over an attribute vector.
+class TaskExpr {
+ public:
+  enum class Kind { kAttribute, kAnd, kOr, kNot };
+
+  /// Leaf: the probability of attribute `index`.
+  static TaskExpr attribute(int64_t index);
+  static TaskExpr conjunction(std::vector<TaskExpr> operands);
+  static TaskExpr disjunction(std::vector<TaskExpr> operands);
+  static TaskExpr negation(TaskExpr operand);
+
+  Kind kind() const { return kind_; }
+  int64_t attribute_index() const { return attribute_; }
+  const std::vector<TaskExpr>& operands() const { return operands_; }
+
+  /// Soft truth value in [0, 1] given attribute probabilities.
+  float evaluate(const Tensor& attr_probs) const;
+
+  /// "(and attr:1 (or attr:0 attr:6) (not attr:15))".
+  std::string to_string() const;
+
+  /// Parses the to_string() form; throws std::invalid_argument on errors.
+  static TaskExpr parse(const std::string& text);
+
+  /// Largest attribute index referenced (for validation), -1 if none.
+  int64_t max_attribute() const;
+
+ private:
+  TaskExpr() = default;
+
+  Kind kind_ = Kind::kAttribute;
+  int64_t attribute_ = -1;
+  std::vector<TaskExpr> operands_;
+};
+
+/// Relevance decision for a composite mission: expr truth ≥ threshold.
+struct CompositeMatcher {
+  TaskExpr expr;
+  float threshold = 0.5f;
+
+  bool relevant(const Tensor& attr_probs) const {
+    return expr.evaluate(attr_probs) >= threshold;
+  }
+};
+
+}  // namespace itask::kg

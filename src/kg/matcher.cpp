@@ -1,0 +1,97 @@
+#include "kg/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::kg {
+
+namespace {
+
+/// Resolves the dense index of an attribute/class node: prefers the "index"
+/// property stamped by the oracle; falls back to "attr:<i>"/"class:<i>"
+/// label conventions.
+int64_t dense_index(const Node& node) {
+  const auto it = node.properties.find("index");
+  if (it != node.properties.end())
+    return static_cast<int64_t>(it->second + 0.5f);
+  const auto colon = node.label.find(':');
+  if (colon != std::string::npos) {
+    return std::strtoll(node.label.c_str() + colon + 1, nullptr, 10);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CompiledTask compile_task(const KnowledgeGraph& graph, NodeId task_node,
+                          int64_t num_attributes, int64_t num_classes) {
+  const Node& task = graph.node(task_node);
+  ITASK_CHECK(task.type == NodeType::kTask,
+              "compile_task: node is not a task");
+  CompiledTask out;
+  out.task_node = task_node;
+  out.task_label = task.label;
+  out.positive = Tensor({num_attributes});
+  out.negative = Tensor({num_attributes});
+  out.class_affinity = Tensor({num_classes});
+  out.threshold = graph.property(task_node, "threshold").value_or(0.9f);
+
+  // 1-hop: task -> attribute.
+  for (const Edge& e : graph.edges_from(task_node)) {
+    const Node& dst = graph.node(e.dst);
+    if (dst.type != NodeType::kAttribute) continue;
+    const int64_t a = dense_index(dst);
+    if (a < 0 || a >= num_attributes) continue;
+    if (e.relation == Relation::kRequires) out.positive[a] += e.weight;
+    if (e.relation == Relation::kExcludes) out.negative[a] += e.weight;
+  }
+
+  // 2-hop: class --has_attribute--> attribute, folded through the task's
+  // attribute weights.
+  for (const Node& n : graph.nodes()) {
+    if (n.type != NodeType::kObjectClass) continue;
+    const int64_t c = dense_index(n);
+    if (c < 0 || c >= num_classes) continue;
+    float affinity = 0.0f;
+    for (const Edge& e : graph.edges_from(n.id, Relation::kHasAttribute)) {
+      const Node& attr = graph.node(e.dst);
+      if (attr.type != NodeType::kAttribute) continue;
+      const int64_t a = dense_index(attr);
+      if (a < 0 || a >= num_attributes) continue;
+      affinity += e.weight * (out.positive[a] - out.negative[a]);
+    }
+    out.class_affinity[c] = affinity;
+  }
+  return out;
+}
+
+TaskMatcher::TaskMatcher(CompiledTask task, MatcherOptions options)
+    : task_(std::move(task)), options_(options) {
+  ITASK_CHECK(options_.alpha >= 0.0f && options_.alpha <= 1.0f,
+              "TaskMatcher: alpha must be in [0, 1]");
+}
+
+float TaskMatcher::score(const Tensor& attr_probs,
+                         const Tensor& class_probs) const {
+  ITASK_CHECK(attr_probs.numel() == task_.positive.numel(),
+              "TaskMatcher: attribute vector size mismatch");
+  ITASK_CHECK(class_probs.numel() == task_.class_affinity.numel(),
+              "TaskMatcher: class vector size mismatch");
+  float attr_score = 0.0f;
+  for (int64_t a = 0; a < attr_probs.numel(); ++a)
+    attr_score += attr_probs[a] * (task_.positive[a] - task_.negative[a]);
+  float class_score = 0.0f;
+  for (int64_t c = 0; c < class_probs.numel(); ++c)
+    class_score += class_probs[c] * task_.class_affinity[c];
+  return options_.alpha * attr_score + (1.0f - options_.alpha) * class_score;
+}
+
+float TaskMatcher::confidence(const Tensor& attr_probs,
+                              const Tensor& class_probs) const {
+  const float s = score(attr_probs, class_probs);
+  const float threshold = task_.threshold * options_.threshold_scale;
+  const float span = std::max(threshold, 0.25f);
+  return std::clamp(0.5f + 0.5f * (s - threshold) / span, 0.0f, 1.0f);
+}
+
+}  // namespace itask::kg

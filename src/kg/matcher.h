@@ -1,0 +1,69 @@
+// Task-graph compilation and relevance matching.
+//
+// compile_task() lowers a knowledge graph into dense weight vectors:
+//   * attribute weights straight from task--requires/excludes-->attribute
+//     edges (1-hop), and
+//   * class affinities via the 2-hop path
+//     class --has_attribute--> attribute <--requires-- task,
+// so the matcher can score a detection from either (or both) of the model's
+// attribute and class predictions. This is the mechanism that lets iTask
+// detect for a *new* task without task-specific training data.
+#pragma once
+
+#include "kg/graph.h"
+#include "tensor/tensor.h"
+
+namespace itask::kg {
+
+/// Dense, matcher-ready form of one task inside a knowledge graph.
+struct CompiledTask {
+  NodeId task_node = kInvalidNode;
+  std::string task_label;
+  Tensor positive;        // [A] attribute importance
+  Tensor negative;        // [A] attribute exclusion
+  Tensor class_affinity;  // [C] 2-hop class relevance (background = 0)
+  float threshold = 0.9f;
+};
+
+/// Lowers `task_node` of `graph` into dense vectors. `num_attributes` and
+/// `num_classes` fix the output sizes; attribute/class nodes are matched by
+/// an "index" property stamped by the oracle (falling back to label lookup
+/// via the provided resolver-free convention "attr:<i>"/"class:<i>").
+CompiledTask compile_task(const KnowledgeGraph& graph, NodeId task_node,
+                          int64_t num_attributes, int64_t num_classes);
+
+struct MatcherOptions {
+  /// Blend between attribute evidence (alpha) and 2-hop class evidence
+  /// (1 - alpha).
+  float alpha = 0.65f;
+  /// Relaxation applied to the graph's threshold when matching *predicted*
+  /// (soft) probabilities instead of hard ground-truth attributes: soft
+  /// predictions shrink scores multiplicatively, so the operating threshold
+  /// is threshold × threshold_scale.
+  float threshold_scale = 0.85f;
+};
+
+/// Scores predicted attribute/class probabilities against a compiled task.
+class TaskMatcher {
+ public:
+  TaskMatcher(CompiledTask task, MatcherOptions options = {});
+
+  /// attr_probs: [A] sigmoid outputs; class_probs: [C] softmax outputs.
+  float score(const Tensor& attr_probs, const Tensor& class_probs) const;
+
+  bool relevant(const Tensor& attr_probs, const Tensor& class_probs) const {
+    return score(attr_probs, class_probs) >=
+           task_.threshold * options_.threshold_scale;
+  }
+
+  /// Margin above threshold, normalised to ~[0, 1] for ranking detections.
+  float confidence(const Tensor& attr_probs, const Tensor& class_probs) const;
+
+  const CompiledTask& task() const { return task_; }
+
+ private:
+  CompiledTask task_;
+  MatcherOptions options_;
+};
+
+}  // namespace itask::kg

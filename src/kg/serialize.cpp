@@ -1,0 +1,84 @@
+#include "kg/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tensor/tensor.h"  // ITASK_CHECK
+
+namespace itask::kg {
+
+std::string serialize(const KnowledgeGraph& graph) {
+  std::ostringstream os;
+  os << "ITASK-KG v1\n";
+  for (const Node& n : graph.nodes()) {
+    ITASK_CHECK(n.label.find_first_of(" \t\n") == std::string::npos,
+                "serialize: label contains whitespace: " + n.label);
+    os << "node " << n.id << ' ' << static_cast<int>(n.type) << ' ' << n.label;
+    for (const auto& [k, v] : n.properties) os << ' ' << k << '=' << v;
+    os << '\n';
+  }
+  for (const Edge& e : graph.edges()) {
+    os << "edge " << e.src << ' ' << e.dst << ' '
+       << static_cast<int>(e.relation) << ' ' << e.weight << '\n';
+  }
+  return os.str();
+}
+
+KnowledgeGraph deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string header;
+  std::getline(is, header);
+  ITASK_CHECK(header == "ITASK-KG v1", "deserialize: bad header");
+  KnowledgeGraph graph;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "node") {
+      int64_t id = 0;
+      int type = 0;
+      std::string label;
+      ls >> id >> type >> label;
+      ITASK_CHECK(!ls.fail(), "deserialize: malformed node line");
+      const NodeId got =
+          graph.add_node(static_cast<NodeType>(type), label);
+      ITASK_CHECK(got == id, "deserialize: non-contiguous node ids");
+      std::string prop;
+      while (ls >> prop) {
+        const auto eq = prop.find('=');
+        ITASK_CHECK(eq != std::string::npos, "deserialize: malformed property");
+        graph.set_property(got, prop.substr(0, eq),
+                           std::strtof(prop.c_str() + eq + 1, nullptr));
+      }
+    } else if (kind == "edge") {
+      int64_t src = 0, dst = 0;
+      int relation = 0;
+      float weight = 0.0f;
+      ls >> src >> dst >> relation >> weight;
+      ITASK_CHECK(!ls.fail(), "deserialize: malformed edge line");
+      graph.add_edge(src, dst, static_cast<Relation>(relation), weight);
+    } else {
+      ITASK_CHECK(false, "deserialize: unknown record kind: " + kind);
+    }
+  }
+  return graph;
+}
+
+void save_graph(const KnowledgeGraph& graph, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path);
+  os << serialize(graph);
+  if (!os) throw std::runtime_error("save_graph: write failure " + path);
+}
+
+KnowledgeGraph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace itask::kg

@@ -1,0 +1,23 @@
+// Plain-text round-trip serialization for knowledge graphs, so generated
+// graphs can be inspected, versioned, and shipped alongside deployments.
+#pragma once
+
+#include <string>
+
+#include "kg/graph.h"
+
+namespace itask::kg {
+
+/// Serialises to the "ITASK-KG v1" line format. Labels must not contain
+/// whitespace (the oracle emits snake_case labels); throws otherwise.
+std::string serialize(const KnowledgeGraph& graph);
+
+/// Parses a graph produced by serialize(); throws std::invalid_argument on
+/// malformed input.
+KnowledgeGraph deserialize(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_graph(const KnowledgeGraph& graph, const std::string& path);
+KnowledgeGraph load_graph(const std::string& path);
+
+}  // namespace itask::kg

@@ -1,0 +1,169 @@
+#include "llm/oracle.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "data/attributes.h"
+
+namespace itask::llm {
+
+namespace {
+
+using data::Attribute;
+using data::attr_index;
+
+int64_t A(Attribute a) { return attr_index(a); }
+
+std::vector<LexiconRule> build_lexicon() {
+  std::vector<LexiconRule> rules;
+  auto add = [&](std::string trigger,
+                 std::vector<std::pair<int64_t, float>> pos,
+                 std::vector<std::pair<int64_t, float>> neg = {},
+                 float threshold_hint = 0.0f) {
+    rules.push_back(LexiconRule{std::move(trigger), std::move(pos),
+                                std::move(neg), threshold_hint});
+  };
+
+  // Attribute vocabulary words.
+  add("hazardous", {{A(Attribute::kHazardous), 1.0f}});
+  add("sharp", {{A(Attribute::kSharp), 0.6f}});
+  add("metallic", {{A(Attribute::kMetallic), 0.5f}});
+  add("fragile", {{A(Attribute::kFragile), 1.0f}});
+  add("organic", {{A(Attribute::kOrganic), 0.7f}});
+  add("round", {{A(Attribute::kRound), 0.5f}});
+  add("bright", {{A(Attribute::kBright), 1.0f}});
+  add("dark", {{A(Attribute::kDark), 0.4f}});
+  add("elongated", {{A(Attribute::kElongated), 0.4f}});
+  add("textured", {{A(Attribute::kTextured), 0.35f}});
+  add("moving", {{A(Attribute::kMoving), 0.6f}});
+
+  // Domain/mission words: the "world knowledge" an LLM contributes.
+  add("track", {{A(Attribute::kMoving), 0.4f}});
+  add("vehicle", {}, {{A(Attribute::kSmall), 0.4f}});
+  add("instruments", {{A(Attribute::kSmall), 0.3f}}, {}, 0.0f);
+  add("surgical", {}, {}, 1.0f);
+  add("produce", {}, {}, 1.05f);
+  add("fasteners",
+      {{A(Attribute::kMetallic), 0.2f}, {A(Attribute::kSmall), 0.5f}},
+      {{A(Attribute::kSharp), 0.4f}});
+  add("markers", {}, {{A(Attribute::kOrganic), 0.3f}});
+  add("defects", {{A(Attribute::kHazardous), 0.4f}});
+  return rules;
+}
+
+}  // namespace
+
+Oracle::Oracle(OracleOptions options) : options_(options) {
+  ITASK_CHECK(options_.weight_noise >= 0.0f, "Oracle: negative noise");
+  ITASK_CHECK(
+      options_.drop_probability >= 0.0f && options_.drop_probability < 1.0f,
+      "Oracle: drop probability out of range");
+}
+
+const std::vector<LexiconRule>& Oracle::lexicon() {
+  static const std::vector<LexiconRule> kLexicon = build_lexicon();
+  return kLexicon;
+}
+
+std::vector<std::string> Oracle::tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalpha(static_cast<unsigned char>(ch))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+kg::KnowledgeGraph Oracle::generate(const std::string& task_description) const {
+  // Seed the noise model with a hash of the description so repeated calls on
+  // the same text are identical but distinct tasks decorrelate.
+  uint64_t h = options_.seed;
+  for (char c : task_description)
+    h = h * 1099511628211ULL ^ static_cast<uint64_t>(c);
+  Rng rng(h);
+
+  kg::KnowledgeGraph graph;
+  const kg::NodeId task = graph.add_node(kg::NodeType::kTask, "task");
+
+  std::vector<kg::NodeId> attr_nodes;
+  for (int64_t a = 0; a < data::kNumAttributes; ++a) {
+    const kg::NodeId id = graph.add_node(
+        kg::NodeType::kAttribute,
+        data::attribute_name(static_cast<Attribute>(a)));
+    graph.set_property(id, "index", static_cast<float>(a));
+    attr_nodes.push_back(id);
+  }
+  std::vector<kg::NodeId> class_nodes;
+  for (int64_t c = 0; c < data::kNumClasses; ++c) {
+    const kg::NodeId id = graph.add_node(
+        kg::NodeType::kObjectClass,
+        data::class_name(static_cast<data::ObjectClass>(c)));
+    graph.set_property(id, "index", static_cast<float>(c));
+    class_nodes.push_back(id);
+  }
+
+  auto noisy = [&](float w) {
+    return options_.weight_noise > 0.0f
+               ? w * (1.0f + rng.normal(0.0f, options_.weight_noise))
+               : w;
+  };
+  auto dropped = [&]() {
+    return options_.drop_probability > 0.0 &&
+           rng.bernoulli(options_.drop_probability);
+  };
+
+  // Accumulate lexicon evidence over the token stream.
+  const std::vector<std::string> tokens = tokenize(task_description);
+  Tensor pos({data::kNumAttributes});
+  Tensor neg({data::kNumAttributes});
+  float threshold = 0.9f;
+  for (const LexiconRule& rule : lexicon()) {
+    if (std::find(tokens.begin(), tokens.end(), rule.trigger) == tokens.end())
+      continue;
+    for (const auto& [a, w] : rule.positive) pos[a] += w;
+    for (const auto& [a, w] : rule.negative) neg[a] += w;
+    if (rule.threshold_hint > 0.0f) threshold = rule.threshold_hint;
+  }
+
+  for (int64_t a = 0; a < data::kNumAttributes; ++a) {
+    if (pos[a] > 0.0f && !dropped())
+      graph.add_edge(task, attr_nodes[static_cast<size_t>(a)],
+                     kg::Relation::kRequires, noisy(pos[a]));
+    if (neg[a] > 0.0f && !dropped())
+      graph.add_edge(task, attr_nodes[static_cast<size_t>(a)],
+                     kg::Relation::kExcludes, noisy(neg[a]));
+    if (options_.spurious_probability > 0.0f && pos[a] == 0.0f &&
+        neg[a] == 0.0f && rng.bernoulli(options_.spurious_probability)) {
+      graph.add_edge(task, attr_nodes[static_cast<size_t>(a)],
+                     kg::Relation::kRequires,
+                     std::abs(rng.normal(0.0f, 0.15f)));
+    }
+  }
+  graph.set_property(
+      task, "threshold",
+      options_.weight_noise > 0.0f
+          ? threshold * (1.0f + rng.normal(0.0f, 0.5f * options_.weight_noise))
+          : threshold);
+
+  // Class ontology: class --has_attribute--> attribute from the prototypes.
+  for (int64_t c = 1; c < data::kNumClasses; ++c) {
+    const Tensor proto =
+        data::class_attribute_prototype(static_cast<data::ObjectClass>(c));
+    for (int64_t a = 0; a < data::kNumAttributes; ++a) {
+      if (proto[a] <= 0.0f || dropped()) continue;
+      graph.add_edge(class_nodes[static_cast<size_t>(c)],
+                     attr_nodes[static_cast<size_t>(a)],
+                     kg::Relation::kHasAttribute, noisy(proto[a]));
+    }
+  }
+  return graph;
+}
+
+}  // namespace itask::llm

@@ -1,0 +1,64 @@
+// Simulated LLM oracle (DESIGN.md §4): expands a natural-language task
+// description into an abstract knowledge graph.
+//
+// The real iTask calls an external LLM; everything downstream consumes only
+// the *graph*. This oracle reproduces that interface deterministically: a
+// curated lexicon maps mission vocabulary to attribute requirements (the
+// "commonsense" an LLM contributes), a class ontology contributes
+// class--has_attribute-->attribute edges, and a controllable noise model
+// degrades the graph to emulate imperfect LLM outputs (swept in experiment
+// A3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kg/graph.h"
+#include "tensor/rng.h"
+
+namespace itask::llm {
+
+struct OracleOptions {
+  /// Multiplicative Gaussian noise applied to every edge weight
+  /// (weight *= 1 + N(0, weight_noise)).
+  float weight_noise = 0.0f;
+  /// Probability of dropping a generated edge entirely.
+  float drop_probability = 0.0f;
+  /// Probability (per candidate) of adding a spurious low-weight edge.
+  float spurious_probability = 0.0f;
+  /// Seed for the noise model; graphs are deterministic given (text, seed).
+  uint64_t seed = 0x17A5Cu;
+};
+
+/// One lexicon rule: a trigger word contributing attribute evidence.
+struct LexiconRule {
+  std::string trigger;  // lowercase word matched against tokens
+  std::vector<std::pair<int64_t, float>> positive;  // (attribute idx, weight)
+  std::vector<std::pair<int64_t, float>> negative;
+  float threshold_hint = 0.0f;  // > 0 overrides the default threshold
+};
+
+class Oracle {
+ public:
+  explicit Oracle(OracleOptions options = {});
+
+  /// Generates the knowledge graph for one task description. The graph
+  /// contains: one task node ("task" label, with a "threshold" property),
+  /// 16 attribute nodes ("attr:<i>"), 12+1 class nodes ("class:<i>"),
+  /// requires/excludes edges from the lexicon, and has_attribute ontology
+  /// edges from the class prototypes.
+  kg::KnowledgeGraph generate(const std::string& task_description) const;
+
+  /// The lexicon the oracle reasons with (exposed for inspection/tests).
+  static const std::vector<LexiconRule>& lexicon();
+
+  /// Lowercased alphabetic tokens of `text`.
+  static std::vector<std::string> tokenize(const std::string& text);
+
+  const OracleOptions& options() const { return options_; }
+
+ private:
+  OracleOptions options_;
+};
+
+}  // namespace itask::llm

@@ -1,0 +1,121 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace itask::nn {
+
+Tensor split_heads(const Tensor& x, int64_t heads) {
+  ITASK_CHECK(x.ndim() == 3, "split_heads: need [B, T, D]");
+  const int64_t b = x.dim(0), t = x.dim(1), d = x.dim(2);
+  ITASK_CHECK(d % heads == 0, "split_heads: dim not divisible by heads");
+  const int64_t hd = d / heads;
+  Tensor out({b * heads, t, hd});
+  auto in = x.data();
+  auto o = out.data();
+  for (int64_t bi = 0; bi < b; ++bi)
+    for (int64_t h = 0; h < heads; ++h)
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float* src = in.data() + (bi * t + ti) * d + h * hd;
+        float* dst = o.data() + ((bi * heads + h) * t + ti) * hd;
+        std::copy(src, src + hd, dst);
+      }
+  return out;
+}
+
+Tensor merge_heads(const Tensor& x, int64_t heads) {
+  ITASK_CHECK(x.ndim() == 3, "merge_heads: need [B*H, T, hd]");
+  const int64_t bh = x.dim(0), t = x.dim(1), hd = x.dim(2);
+  ITASK_CHECK(bh % heads == 0, "merge_heads: batch not divisible by heads");
+  const int64_t b = bh / heads;
+  const int64_t d = heads * hd;
+  Tensor out({b, t, d});
+  auto in = x.data();
+  auto o = out.data();
+  for (int64_t bi = 0; bi < b; ++bi)
+    for (int64_t h = 0; h < heads; ++h)
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float* src = in.data() + ((bi * heads + h) * t + ti) * hd;
+        float* dst = o.data() + (bi * t + ti) * d + h * hd;
+        std::copy(src, src + hd, dst);
+      }
+  return out;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t heads, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      scale_(1.0f / std::sqrt(static_cast<float>(dim / heads))),
+      qkv_(dim, 3 * dim, rng),
+      proj_(dim, dim, rng) {
+  ITASK_CHECK(dim % heads == 0, "MultiHeadAttention: dim % heads != 0");
+  register_child("qkv", qkv_);
+  register_child("proj", proj_);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& tokens) {
+  ITASK_CHECK(tokens.ndim() == 3 && tokens.dim(2) == dim_,
+              "MultiHeadAttention: need [B, T, dim]");
+  const int64_t b = tokens.dim(0), t = tokens.dim(1);
+  Tensor qkv = qkv_.forward(tokens);  // [B, T, 3D]
+  // Slice out Q, K, V as [B, T, D] each.
+  Tensor q({b, t, dim_}), k({b, t, dim_}), v({b, t, dim_});
+  {
+    auto src = qkv.data();
+    auto qd = q.data(), kd = k.data(), vd = v.data();
+    for (int64_t r = 0; r < b * t; ++r) {
+      const float* row = src.data() + r * 3 * dim_;
+      std::copy(row, row + dim_, qd.data() + r * dim_);
+      std::copy(row + dim_, row + 2 * dim_, kd.data() + r * dim_);
+      std::copy(row + 2 * dim_, row + 3 * dim_, vd.data() + r * dim_);
+    }
+  }
+  cached_q_ = split_heads(q, heads_);  // [B*H, T, hd]
+  cached_k_ = split_heads(k, heads_);
+  cached_v_ = split_heads(v, heads_);
+  Tensor scores =
+      ops::mul_scalar(ops::bmm_bt(cached_q_, cached_k_), scale_);  // [B*H,T,T]
+  cached_attn_ = ops::softmax_lastdim(scores);
+  Tensor ctx = ops::bmm(cached_attn_, cached_v_);  // [B*H, T, hd]
+  cached_batch_ = b;
+  return proj_.forward(merge_heads(ctx, heads_));
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& grad_out) {
+  ITASK_CHECK(!cached_attn_.empty(),
+              "MultiHeadAttention: backward before forward");
+  const int64_t b = cached_batch_;
+  const int64_t t = cached_q_.dim(1);
+  Tensor d_ctx_merged = proj_.backward(grad_out);          // [B, T, D]
+  Tensor d_ctx = split_heads(d_ctx_merged, heads_);        // [B*H, T, hd]
+  // ctx = attn · v
+  Tensor d_attn = ops::bmm_bt(d_ctx, cached_v_);           // [B*H, T, T]
+  Tensor d_v = ops::bmm_at(cached_attn_, d_ctx);           // [B*H, T, hd]
+  // attn = softmax(scores)
+  Tensor d_scores = ops::softmax_backward_lastdim(cached_attn_, d_attn);
+  d_scores = ops::mul_scalar(d_scores, scale_);
+  // scores = q · kᵀ
+  Tensor d_q = ops::bmm(d_scores, cached_k_);              // [B*H, T, hd]
+  Tensor d_k = ops::bmm_at(d_scores, cached_q_);           // [B*H, T, hd]
+  // Re-pack [dq|dk|dv] into the qkv gradient layout [B, T, 3D].
+  Tensor dq_m = merge_heads(d_q, heads_);
+  Tensor dk_m = merge_heads(d_k, heads_);
+  Tensor dv_m = merge_heads(d_v, heads_);
+  Tensor d_qkv({b, t, 3 * dim_});
+  {
+    auto dst = d_qkv.data();
+    auto qd = dq_m.data(), kd = dk_m.data(), vd = dv_m.data();
+    for (int64_t r = 0; r < b * t; ++r) {
+      float* row = dst.data() + r * 3 * dim_;
+      std::copy(qd.data() + r * dim_, qd.data() + (r + 1) * dim_, row);
+      std::copy(kd.data() + r * dim_, kd.data() + (r + 1) * dim_, row + dim_);
+      std::copy(vd.data() + r * dim_, vd.data() + (r + 1) * dim_,
+                row + 2 * dim_);
+    }
+  }
+  return qkv_.backward(d_qkv);
+}
+
+}  // namespace itask::nn

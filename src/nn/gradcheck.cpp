@@ -1,0 +1,55 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::nn {
+
+GradCheckResult check_gradients(Module& module,
+                                const std::function<float()>& loss_fn,
+                                float epsilon, float tolerance,
+                                int64_t max_checks_per_param) {
+  GradCheckResult result;
+  module.zero_grad();
+  (void)loss_fn();  // populate analytic gradients
+  // Snapshot analytic grads (later loss_fn calls will re-accumulate).
+  std::vector<Tensor> analytic;
+  auto params = module.parameters();
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter& p = *params[pi];
+    const int64_t n = p.value.numel();
+    const int64_t checks = std::min<int64_t>(n, max_checks_per_param);
+    // Deterministic stride-sample across the tensor.
+    const int64_t stride = std::max<int64_t>(1, n / checks);
+    for (int64_t j = 0; j < n; j += stride) {
+      const float saved = p.value[j];
+      p.value[j] = saved + epsilon;
+      module.zero_grad();
+      const float lp = loss_fn();
+      p.value[j] = saved - epsilon;
+      module.zero_grad();
+      const float lm = loss_fn();
+      p.value[j] = saved;
+      const float numeric = (lp - lm) / (2.0f * epsilon);
+      const float exact = analytic[pi][j];
+      const float abs_err = std::abs(numeric - exact);
+      const float denom = std::max({std::abs(numeric), std::abs(exact), 1e-4f});
+      const float rel_err = abs_err / denom;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+        result.worst_parameter = p.name;
+      }
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (rel_err > tolerance && abs_err > 1e-4f) result.ok = false;
+    }
+  }
+  // Restore analytic gradients for any caller inspection.
+  module.zero_grad();
+  (void)loss_fn();
+  return result;
+}
+
+}  // namespace itask::nn

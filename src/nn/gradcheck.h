@@ -1,0 +1,28 @@
+// Numerical gradient checking — the validation backbone for every layer's
+// hand-written backward pass (DESIGN.md §7).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.h"
+
+namespace itask::nn {
+
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string worst_parameter;
+};
+
+/// `loss_fn` must run the full forward+backward for a fixed input and return
+/// the scalar loss, leaving gradients accumulated on `module`'s parameters.
+/// Compares analytic grads against central finite differences on a sample of
+/// up to `max_checks_per_param` elements per parameter.
+GradCheckResult check_gradients(Module& module,
+                                const std::function<float()>& loss_fn,
+                                float epsilon = 1e-3f, float tolerance = 2e-2f,
+                                int64_t max_checks_per_param = 24);
+
+}  // namespace itask::nn

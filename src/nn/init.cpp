@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace itask::nn {
+
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  ITASK_CHECK(fan_in > 0 && fan_out > 0, "xavier_uniform: bad fan");
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return rng.rand(std::move(shape), -a, a);
+}
+
+Tensor kaiming_normal(Shape shape, int64_t fan_in, Rng& rng) {
+  ITASK_CHECK(fan_in > 0, "kaiming_normal: bad fan_in");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return rng.randn(std::move(shape), 0.0f, stddev);
+}
+
+Tensor trunc_normal(Shape shape, float stddev, Rng& rng) {
+  Tensor out(std::move(shape));
+  for (float& v : out.data()) {
+    float x = rng.normal(0.0f, stddev);
+    int guard = 0;
+    while (std::abs(x) > 2.0f * stddev && guard++ < 16)
+      x = rng.normal(0.0f, stddev);
+    v = x;
+  }
+  return out;
+}
+
+}  // namespace itask::nn

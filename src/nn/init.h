@@ -1,0 +1,18 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace itask::nn {
+
+/// Xavier/Glorot uniform: U[-a, a], a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Kaiming/He normal for ReLU-family fan-in: N(0, sqrt(2 / fan_in)).
+Tensor kaiming_normal(Shape shape, int64_t fan_in, Rng& rng);
+
+/// Small truncated-ish normal used for embeddings (resampled at 2 sigma).
+Tensor trunc_normal(Shape shape, float stddev, Rng& rng);
+
+}  // namespace itask::nn

@@ -1,0 +1,49 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace itask::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(register_parameter(
+          "weight", xavier_uniform({out_features, in_features}, in_features,
+                                   out_features, rng))) {
+  if (bias) {
+    bias_ = &register_parameter("bias", Tensor({out_features}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  ITASK_CHECK(input.ndim() >= 1, "Linear: input must be at least 1-D");
+  ITASK_CHECK(input.dim(input.ndim() - 1) == in_features_,
+              "Linear: trailing dim mismatch");
+  const int64_t rows = input.numel() / in_features_;
+  Tensor x2d = input.reshape({rows, in_features_});
+  Tensor y = ops::matmul_bt(x2d, weight_.value);  // [rows, out]
+  if (bias_ != nullptr) y = ops::add_rowwise(y, bias_->value);
+  cached_input_2d_ = x2d;
+  cached_input_shape_ = input.shape();
+  Shape out_shape = input.shape();
+  out_shape.back() = out_features_;
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  ITASK_CHECK(!cached_input_2d_.empty(), "Linear: backward before forward");
+  const int64_t rows = cached_input_2d_.dim(0);
+  ITASK_CHECK(grad_out.numel() == rows * out_features_,
+              "Linear: grad_out size mismatch");
+  Tensor g2d = grad_out.reshape({rows, out_features_});
+  // dW[out,in] += gᵀ · x
+  ops::add_inplace(weight_.grad, ops::matmul_at(g2d, cached_input_2d_));
+  if (bias_ != nullptr)
+    ops::add_inplace(bias_->grad, ops::sum_to_lastdim(g2d));
+  // dx[rows,in] = g · W
+  Tensor dx = ops::matmul(g2d, weight_.value);
+  return dx.reshape(cached_input_shape_);
+}
+
+}  // namespace itask::nn

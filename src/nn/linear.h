@@ -1,0 +1,37 @@
+// Fully-connected layer with cached-input backward.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace itask::nn {
+
+/// y = x · Wᵀ + b, where W is [out_features, in_features].
+/// Accepts any input rank ≥ 1; all leading axes are treated as rows.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  /// Forward pass; caches the input when training for use by backward().
+  Tensor forward(const Tensor& input);
+
+  /// Accumulates dW/db and returns dL/dinput (same shape as the cached input).
+  Tensor backward(const Tensor& grad_out);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Parameter& weight_;
+  Parameter* bias_ = nullptr;
+  Tensor cached_input_2d_;  // [rows, in]
+  Shape cached_input_shape_;
+};
+
+}  // namespace itask::nn

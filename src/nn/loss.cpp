@@ -1,0 +1,124 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace itask::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 int64_t ignore_index) {
+  ITASK_CHECK(logits.ndim() >= 1, "cross_entropy: need at least 1-D");
+  const int64_t c = logits.dim(logits.ndim() - 1);
+  const int64_t rows = logits.numel() / c;
+  ITASK_CHECK(static_cast<int64_t>(labels.size()) == rows,
+              "cross_entropy: label count mismatch");
+  Tensor logp = ops::log_softmax_lastdim(logits);
+  Tensor grad(logits.shape());
+  auto lp = logp.data();
+  auto g = grad.data();
+  double loss = 0.0;
+  int64_t counted = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t y = labels[static_cast<size_t>(r)];
+    if (y == ignore_index) continue;
+    ITASK_CHECK(y >= 0 && y < c, "cross_entropy: label out of range");
+    ++counted;
+    loss -= lp[r * c + y];
+  }
+  const float inv = counted > 0 ? 1.0f / static_cast<float>(counted) : 0.0f;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t y = labels[static_cast<size_t>(r)];
+    float* grow = g.data() + r * c;
+    if (y == ignore_index) continue;
+    const float* lprow = lp.data() + r * c;
+    for (int64_t j = 0; j < c; ++j)
+      grow[j] = std::exp(lprow[j]) * inv;
+    grow[y] -= inv;
+  }
+  return {counted > 0 ? static_cast<float>(loss) * inv : 0.0f,
+          std::move(grad)};
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets,
+                           const Tensor* weights) {
+  ITASK_CHECK(logits.shape() == targets.shape(),
+              "bce_with_logits: shape mismatch");
+  if (weights != nullptr)
+    ITASK_CHECK(weights->shape() == logits.shape(),
+                "bce_with_logits: weight shape mismatch");
+  const int64_t n = logits.numel();
+  ITASK_CHECK(n > 0, "bce_with_logits: empty input");
+  Tensor grad(logits.shape());
+  auto x = logits.data();
+  auto t = targets.data();
+  auto g = grad.data();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float w =
+        weights != nullptr ? weights->data()[static_cast<size_t>(i)] : 1.0f;
+    // Numerically stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+    const float xi = x[i];
+    const float ti = t[i];
+    loss += w * ((xi > 0.0f ? xi : 0.0f) - xi * ti +
+                 std::log1p(std::exp(-std::abs(xi))));
+    const float p = 1.0f / (1.0f + std::exp(-xi));
+    g[i] = w * (p - ti) * inv;
+  }
+  return {static_cast<float>(loss) * inv, std::move(grad)};
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  ITASK_CHECK(pred.shape() == target.shape(), "mse: shape mismatch");
+  const int64_t n = pred.numel();
+  ITASK_CHECK(n > 0, "mse: empty input");
+  Tensor grad(pred.shape());
+  auto p = pred.data();
+  auto t = target.data();
+  auto g = grad.data();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    loss += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv;
+  }
+  return {static_cast<float>(loss) * inv, std::move(grad)};
+}
+
+LossResult kd_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                 float temperature) {
+  ITASK_CHECK(student_logits.shape() == teacher_logits.shape(),
+              "kd_kl: shape mismatch");
+  ITASK_CHECK(temperature > 0.0f, "kd_kl: temperature must be positive");
+  const int64_t c = student_logits.dim(student_logits.ndim() - 1);
+  const int64_t rows = student_logits.numel() / c;
+  const float t = temperature;
+  Tensor ps = ops::log_softmax_lastdim(
+      ops::mul_scalar(student_logits, 1.0f / t));        // log p_s
+  Tensor pt = ops::softmax_lastdim(
+      ops::mul_scalar(teacher_logits, 1.0f / t));        // p_t
+  Tensor grad(student_logits.shape());
+  auto lps = ps.data();
+  auto ptd = pt.data();
+  auto g = grad.data();
+  const float invr = 1.0f / static_cast<float>(rows);
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* lp = lps.data() + r * c;
+    const float* tp = ptd.data() + r * c;
+    float* grow = g.data() + r * c;
+    for (int64_t j = 0; j < c; ++j) {
+      if (tp[j] > 0.0f)
+        loss += static_cast<double>(tp[j]) *
+                (std::log(static_cast<double>(tp[j])) - lp[j]);
+      // dL/ds_j = T * (p_s - p_t) / rows   (T^2 scaling × 1/T chain rule)
+      grow[j] = t * (std::exp(lp[j]) - tp[j]) * invr;
+    }
+  }
+  return {static_cast<float>(loss) * t * t * invr, std::move(grad)};
+}
+
+}  // namespace itask::nn

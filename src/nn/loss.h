@@ -1,0 +1,36 @@
+// Loss functions. Each returns the scalar loss (mean over rows) and the
+// gradient w.r.t. the logits/predictions, ready to feed into backward().
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace itask::nn {
+
+struct LossResult {
+  float value = 0.0f;
+  Tensor grad;  // dL/dinput, same shape as the input
+};
+
+/// Softmax cross-entropy over the trailing axis with integer labels (one per
+/// row; rows = numel / C). `ignore_index` rows contribute zero loss/grad.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 int64_t ignore_index = -1);
+
+/// Per-element binary cross-entropy with logits (multi-label targets in
+/// [0,1]); mean over all elements. Optional per-element weights.
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets,
+                           const Tensor* weights = nullptr);
+
+/// Mean squared error, mean over all elements.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Temperature-scaled distillation loss:
+///   L = T^2 * mean_rows KL( softmax(teacher/T) || softmax(student/T) ).
+/// Gradient is returned w.r.t. the *student* logits.
+LossResult kd_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                 float temperature);
+
+}  // namespace itask::nn

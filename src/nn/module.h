@@ -1,0 +1,77 @@
+// Module / Parameter machinery for the explicit-backward neural-net layers.
+//
+// iTask deliberately avoids a tape autograd (DESIGN.md §6.1): every layer
+// caches what its backward pass needs and exposes `backward(grad_out)`
+// returning the gradient w.r.t. its input. Parameters accumulate gradients
+// in-place; optimizers consume `parameters()`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/io.h"
+#include "tensor/tensor.h"
+
+namespace itask::nn {
+
+/// A trainable tensor together with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for layers and models. Owns its parameters; children are
+/// non-owning references registered by the subclass constructor.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, in registration order.
+  std::vector<Parameter*> parameters();
+
+  /// Total number of trainable scalars.
+  int64_t parameter_count();
+
+  void zero_grad();
+
+  /// Training mode toggles dropout etc. Propagates to children.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Flattens parameters into a name->tensor map ("child.weight" style keys).
+  io::StateDict state_dict();
+
+  /// Loads values for every parameter present in `state`; missing or
+  /// mismatched entries throw.
+  void load_state_dict(const io::StateDict& state);
+
+ protected:
+  /// Creates and owns a parameter; the returned reference is stable.
+  Parameter& register_parameter(std::string name, Tensor init);
+
+  /// Registers a child module (must outlive this module — typically a member).
+  void register_child(std::string name, Module& child);
+
+ private:
+  struct Child {
+    std::string name;
+    Module* module;
+  };
+
+  bool training_ = true;
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<Child> children_;
+};
+
+}  // namespace itask::nn

@@ -1,0 +1,53 @@
+#include "quant/int8_gemm.h"
+
+namespace itask::quant {
+
+void int8_gemm_bt(std::span<const int8_t> a, int32_t a_zero_point,
+                  std::span<const int8_t> w, std::span<int32_t> acc,
+                  int64_t m, int64_t k, int64_t n) {
+  ITASK_CHECK(static_cast<int64_t>(a.size()) == m * k, "int8_gemm: a size");
+  ITASK_CHECK(static_cast<int64_t>(w.size()) == n * k, "int8_gemm: w size");
+  ITASK_CHECK(static_cast<int64_t>(acc.size()) == m * n, "int8_gemm: acc size");
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* arow = a.data() + i * k;
+    int32_t* crow = acc.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* wrow = w.data() + j * k;
+      int32_t s = 0;
+      int32_t asum = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        s += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
+        asum += static_cast<int32_t>(wrow[p]);
+      }
+      // (a - zp)·w = a·w - zp·sum(w)
+      crow[j] = s - a_zero_point * asum;
+    }
+  }
+}
+
+Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
+                       const QuantizedWeight& weight, const Tensor* bias) {
+  ITASK_CHECK(x.ndim() >= 1, "qlinear_forward: bad input rank");
+  const int64_t in = weight.in;
+  ITASK_CHECK(x.dim(x.ndim() - 1) == in, "qlinear_forward: trailing dim");
+  const int64_t rows = x.numel() / in;
+  const int64_t out = weight.out;
+  const std::vector<int8_t> qx = quantize_tensor(x, act);
+  std::vector<int32_t> acc(static_cast<size_t>(rows * out));
+  int8_gemm_bt(qx, act.zero_point, weight.data, acc, rows, in, out);
+  Shape out_shape = x.shape();
+  out_shape.back() = out;
+  Tensor y(std::move(out_shape));
+  auto yd = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < out; ++j) {
+      const float deq = static_cast<float>(acc[static_cast<size_t>(r * out + j)]) *
+                        act.scale * weight.scale_for_row(j);
+      yd[r * out + j] =
+          bias != nullptr ? deq + bias->data()[static_cast<size_t>(j)] : deq;
+    }
+  }
+  return y;
+}
+
+}  // namespace itask::quant

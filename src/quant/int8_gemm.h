@@ -1,0 +1,25 @@
+// INT8 GEMM with INT32 accumulation — the numeric core of the quantized
+// runtime and the operation the systolic-array simulator models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "quant/qformat.h"
+#include "tensor/tensor.h"
+
+namespace itask::quant {
+
+/// acc[m, n] = sum_k (a[m, k] - a_zero_point) * w[n, k]
+/// (weights are symmetric so no weight zero-point term appears).
+void int8_gemm_bt(std::span<const int8_t> a, int32_t a_zero_point,
+                  std::span<const int8_t> w, std::span<int32_t> acc,
+                  int64_t m, int64_t k, int64_t n);
+
+/// Full quantized linear: quantizes `x` with `act`, runs int8_gemm_bt against
+/// `weight`, and dequantizes with per-row weight scales, adding `bias`.
+/// x: [rows, in] FP32; returns [rows, out] FP32.
+Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
+                       const QuantizedWeight& weight, const Tensor* bias);
+
+}  // namespace itask::quant

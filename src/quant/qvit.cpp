@@ -1,0 +1,262 @@
+#include "quant/qvit.h"
+
+#include <cmath>
+
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "tensor/ops.h"
+
+namespace itask::quant {
+
+namespace {
+
+/// Stateless FP32 layernorm over the trailing axis with affine params.
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f) {
+  const int64_t c = gamma.numel();
+  const int64_t rows = x.numel() / c;
+  Tensor out = x;
+  auto o = out.data();
+  auto g = gamma.data();
+  auto b = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = o.data() + r * c;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < c; ++j) mean += row[j];
+    mean /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(c);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    for (int64_t j = 0; j < c; ++j)
+      row[j] = (row[j] - mean) * rstd * g[j] + b[j];
+  }
+  return out;
+}
+
+Tensor fetch(const io::StateDict& state, const std::string& key) {
+  const auto it = state.find(key);
+  ITASK_CHECK(it != state.end(), "QuantizedVit: missing key " + key);
+  return it->second;
+}
+
+Tensor fetch_or_empty(const io::StateDict& state, const std::string& key) {
+  const auto it = state.find(key);
+  return it != state.end() ? it->second : Tensor();
+}
+
+}  // namespace
+
+QLinearLayer::QLinearLayer(Tensor weight, Tensor bias,
+                           const QuantOptions& options)
+    : fp32_weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      calibrator_(make_calibrator(options.method)) {
+  ITASK_CHECK(fp32_weight_.ndim() == 2, "QLinearLayer: weight must be 2-D");
+}
+
+Tensor QLinearLayer::forward_calibrating(const Tensor& x) {
+  ITASK_CHECK(calibrator_ != nullptr,
+              "QLinearLayer: calibration already finalized");
+  calibrator_->observe(x);
+  Tensor y = ops::matmul_bt(
+      x.reshape({x.numel() / fp32_weight_.dim(1), fp32_weight_.dim(1)}),
+      fp32_weight_);
+  if (!bias_.empty()) y = ops::add_rowwise(y, bias_);
+  Shape out_shape = x.shape();
+  out_shape.back() = fp32_weight_.dim(0);
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor QLinearLayer::forward(const Tensor& x) const {
+  ITASK_CHECK(finalized_, "QLinearLayer: forward before finalize");
+  return qlinear_forward(x, act_, qweight_, bias_.empty() ? nullptr : &bias_);
+}
+
+void QLinearLayer::finalize(const QuantOptions& options) {
+  ITASK_CHECK(calibrator_ != nullptr, "QLinearLayer: double finalize");
+  act_ = calibrator_->finalize().with_bits(options.activation_bits);
+  qweight_ =
+      quantize_weight(fp32_weight_, options.granularity, options.weight_bits);
+  calibrator_.reset();
+  finalized_ = true;
+}
+
+QuantizedVit::QuantizedVit(const vit::ViTConfig& config,
+                           const io::StateDict& state, QuantOptions options)
+    : config_(config), options_(options) {
+  patch_proj_ = QLinearLayer(fetch(state, "embed.proj.weight"),
+                             fetch_or_empty(state, "embed.proj.bias"),
+                             options_);
+  cls_ = fetch(state, "embed.cls");
+  pos_ = fetch(state, "embed.pos");
+  for (int64_t i = 0; i < config_.depth; ++i) {
+    const std::string p = "encoder.block" + std::to_string(i) + ".";
+    Block blk;
+    blk.ln1 = {fetch(state, p + "ln1.gamma"), fetch(state, p + "ln1.beta")};
+    blk.ln2 = {fetch(state, p + "ln2.gamma"), fetch(state, p + "ln2.beta")};
+    blk.qkv = QLinearLayer(fetch(state, p + "attn.qkv.weight"),
+                           fetch_or_empty(state, p + "attn.qkv.bias"),
+                           options_);
+    blk.proj = QLinearLayer(fetch(state, p + "attn.proj.weight"),
+                            fetch_or_empty(state, p + "attn.proj.bias"),
+                            options_);
+    blk.fc1 = QLinearLayer(fetch(state, p + "fc1.weight"),
+                           fetch_or_empty(state, p + "fc1.bias"), options_);
+    blk.fc2 = QLinearLayer(fetch(state, p + "fc2.weight"),
+                           fetch_or_empty(state, p + "fc2.bias"), options_);
+    blocks_.push_back(std::move(blk));
+  }
+  final_ln_ = {fetch(state, "encoder.final_ln.gamma"),
+               fetch(state, "encoder.final_ln.beta")};
+  obj_head_ = QLinearLayer(fetch(state, "obj_head.weight"),
+                           fetch_or_empty(state, "obj_head.bias"), options_);
+  cls_head_ = QLinearLayer(fetch(state, "cls_head.weight"),
+                           fetch_or_empty(state, "cls_head.bias"), options_);
+  attr_head_ = QLinearLayer(fetch(state, "attr_head.weight"),
+                            fetch_or_empty(state, "attr_head.bias"), options_);
+  box_fc1_ = QLinearLayer(fetch(state, "box_fc1.weight"),
+                          fetch_or_empty(state, "box_fc1.bias"), options_);
+  box_fc2_ = QLinearLayer(fetch(state, "box_fc2.weight"),
+                          fetch_or_empty(state, "box_fc2.bias"), options_);
+  rel_head_ = QLinearLayer(fetch(state, "rel_head.weight"),
+                           fetch_or_empty(state, "rel_head.bias"), options_);
+}
+
+QuantizedVit QuantizedVit::from_model(vit::VitModel& model,
+                                      QuantOptions options) {
+  return QuantizedVit(model.config(), model.state_dict(), options);
+}
+
+template <typename Apply>
+vit::VitOutput QuantizedVit::run(const Tensor& images, Apply&& apply) {
+  const int64_t b = images.dim(0);
+  const int64_t t = config_.tokens();
+  const int64_t d = config_.dim;
+  // Patch embedding.
+  Tensor patches = nn::patchify(images, config_.patch_size);
+  Tensor projected = apply(patch_proj_, patches);  // [B, T, D]
+  Tensor x({b, t + 1, d});
+  {
+    auto o = x.data();
+    auto pd = projected.data();
+    auto cls = cls_.data();
+    auto pos = pos_.data();
+    for (int64_t bi = 0; bi < b; ++bi) {
+      float* base = o.data() + bi * (t + 1) * d;
+      for (int64_t j = 0; j < d; ++j) base[j] = cls[j] + pos[j];
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float* src = pd.data() + (bi * t + ti) * d;
+        float* dst = base + (ti + 1) * d;
+        const float* prow = pos.data() + (ti + 1) * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] = src[j] + prow[j];
+      }
+    }
+  }
+  // Encoder blocks.
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(d / config_.heads));
+  for (Block& blk : blocks_) {
+    Tensor normed = layernorm(x, blk.ln1.gamma, blk.ln1.beta);
+    Tensor qkv = apply(blk.qkv, normed);  // [B, T+1, 3D]
+    const int64_t rows = b * (t + 1);
+    Tensor q({b, t + 1, d}), k({b, t + 1, d}), v({b, t + 1, d});
+    {
+      auto src = qkv.data();
+      auto qd = q.data(), kd = k.data(), vd = v.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* row = src.data() + r * 3 * d;
+        std::copy(row, row + d, qd.data() + r * d);
+        std::copy(row + d, row + 2 * d, kd.data() + r * d);
+        std::copy(row + 2 * d, row + 3 * d, vd.data() + r * d);
+      }
+    }
+    Tensor qh = nn::split_heads(q, config_.heads);
+    Tensor kh = nn::split_heads(k, config_.heads);
+    Tensor vh = nn::split_heads(v, config_.heads);
+    Tensor attn = ops::softmax_lastdim(
+        ops::mul_scalar(ops::bmm_bt(qh, kh), scale));
+    Tensor ctx = nn::merge_heads(ops::bmm(attn, vh), config_.heads);
+    Tensor attn_out = apply(blk.proj, ctx);
+    x = ops::add(x, attn_out);
+    Tensor normed2 = layernorm(x, blk.ln2.gamma, blk.ln2.beta);
+    Tensor mlp = apply(blk.fc2, ops::gelu(apply(blk.fc1, normed2)));
+    x = ops::add(x, mlp);
+  }
+  Tensor tokens = layernorm(x, final_ln_.gamma, final_ln_.beta);
+  // Patch tokens → heads.
+  Tensor patch_feats({b, t, d});
+  {
+    auto in = tokens.data();
+    auto o = patch_feats.data();
+    for (int64_t bi = 0; bi < b; ++bi) {
+      const float* src = in.data() + (bi * (t + 1) + 1) * d;
+      std::copy(src, src + t * d, o.data() + bi * t * d);
+    }
+  }
+  vit::VitOutput out;
+  out.objectness = apply(obj_head_, patch_feats);
+  out.class_logits = apply(cls_head_, patch_feats);
+  out.attr_logits = apply(attr_head_, patch_feats);
+  out.box_deltas =
+      apply(box_fc2_, ops::gelu(apply(box_fc1_, patch_feats)));
+  out.relevance = apply(rel_head_, patch_feats);
+  out.features = std::move(tokens);
+  return out;
+}
+
+void QuantizedVit::calibrate(const Tensor& images) {
+  ITASK_CHECK(!finalized_, "QuantizedVit: calibrate after finalize");
+  (void)run(images, [](QLinearLayer& layer, const Tensor& x) {
+    return layer.forward_calibrating(x);
+  });
+}
+
+void QuantizedVit::finalize() {
+  ITASK_CHECK(!finalized_, "QuantizedVit: double finalize");
+  patch_proj_.finalize(options_);
+  for (Block& blk : blocks_) {
+    blk.qkv.finalize(options_);
+    blk.proj.finalize(options_);
+    blk.fc1.finalize(options_);
+    blk.fc2.finalize(options_);
+  }
+  obj_head_.finalize(options_);
+  cls_head_.finalize(options_);
+  attr_head_.finalize(options_);
+  box_fc1_.finalize(options_);
+  box_fc2_.finalize(options_);
+  rel_head_.finalize(options_);
+  finalized_ = true;
+}
+
+vit::VitOutput QuantizedVit::forward(const Tensor& images) {
+  ITASK_CHECK(finalized_, "QuantizedVit: forward before finalize");
+  return run(images, [](QLinearLayer& layer, const Tensor& x) {
+    return layer.forward(x);
+  });
+}
+
+int64_t QuantizedVit::quantized_weight_bytes() const {
+  ITASK_CHECK(finalized_, "QuantizedVit: not finalized");
+  int64_t bytes = static_cast<int64_t>(
+      patch_proj_.quantized_weight().data.size());
+  for (const Block& blk : blocks_) {
+    bytes += static_cast<int64_t>(blk.qkv.quantized_weight().data.size());
+    bytes += static_cast<int64_t>(blk.proj.quantized_weight().data.size());
+    bytes += static_cast<int64_t>(blk.fc1.quantized_weight().data.size());
+    bytes += static_cast<int64_t>(blk.fc2.quantized_weight().data.size());
+  }
+  bytes += static_cast<int64_t>(obj_head_.quantized_weight().data.size());
+  bytes += static_cast<int64_t>(cls_head_.quantized_weight().data.size());
+  bytes += static_cast<int64_t>(attr_head_.quantized_weight().data.size());
+  bytes += static_cast<int64_t>(box_fc1_.quantized_weight().data.size());
+  bytes += static_cast<int64_t>(box_fc2_.quantized_weight().data.size());
+  bytes += static_cast<int64_t>(rel_head_.quantized_weight().data.size());
+  return bytes;
+}
+
+}  // namespace itask::quant

@@ -1,0 +1,110 @@
+// Post-training-quantized ViT runtime.
+//
+// Built from a trained VitModel's state dict, this reconstructs the forward
+// pass with INT8 weight GEMMs (symmetric weights, calibrated asymmetric
+// activations) while keeping LayerNorm / softmax / GELU in FP32 — the
+// standard edge recipe. Attention's activation×activation products also stay
+// FP32 (they carry no static weights to stage on the accelerator).
+//
+// Usage: construct → run calibrate() over representative images → finalize()
+// → forward() runs the INT8 path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "quant/calibrate.h"
+#include "quant/int8_gemm.h"
+#include "tensor/io.h"
+#include "vit/model.h"
+
+namespace itask::quant {
+
+struct QuantOptions {
+  WeightGranularity granularity = WeightGranularity::kPerChannel;
+  CalibMethod method = CalibMethod::kMinMax;
+  /// Integer grid widths (8 = standard deployment; 4/6 for the low-bit
+  /// extension, see bench A4). Values are stored in int8 regardless.
+  int weight_bits = 8;
+  int activation_bits = 8;
+};
+
+/// One quantized linear layer plus its calibration state.
+class QLinearLayer {
+ public:
+  QLinearLayer() = default;
+  QLinearLayer(Tensor weight, Tensor bias, const QuantOptions& options);
+
+  /// FP32 reference path; observes activations when a calibrator is active.
+  Tensor forward_calibrating(const Tensor& x);
+
+  /// INT8 path (requires finalize()).
+  Tensor forward(const Tensor& x) const;
+
+  void finalize(const QuantOptions& options);
+  bool finalized() const { return finalized_; }
+
+  const QuantizedWeight& quantized_weight() const { return qweight_; }
+  const QuantParams& activation_params() const { return act_; }
+
+ private:
+  Tensor fp32_weight_;  // [out, in]
+  Tensor bias_;         // may be empty
+  std::unique_ptr<Calibrator> calibrator_;
+  QuantizedWeight qweight_;
+  QuantParams act_;
+  bool finalized_ = false;
+};
+
+/// The full quantized detection-ViT.
+class QuantizedVit {
+ public:
+  QuantizedVit(const vit::ViTConfig& config, const io::StateDict& state,
+               QuantOptions options = {});
+
+  /// Convenience: snapshot a live model.
+  static QuantizedVit from_model(vit::VitModel& model,
+                                 QuantOptions options = {});
+
+  /// Runs the FP32 path over calibration images, recording activations.
+  void calibrate(const Tensor& images);
+
+  /// Freezes activation ranges and quantizes all weights.
+  void finalize();
+
+  /// INT8 inference. Output mirrors VitModel::forward. (Non-const only
+  /// because it shares the calibration code path; it does not mutate
+  /// quantized state.)
+  vit::VitOutput forward(const Tensor& images);
+
+  const vit::ViTConfig& config() const { return config_; }
+  const QuantOptions& options() const { return options_; }
+
+  /// Total INT8 weight bytes (model footprint after quantization).
+  int64_t quantized_weight_bytes() const;
+
+ private:
+  struct LnParams {
+    Tensor gamma;
+    Tensor beta;
+  };
+  struct Block {
+    LnParams ln1, ln2;
+    QLinearLayer qkv, proj, fc1, fc2;
+  };
+
+  /// Shared forward skeleton; `Linear` is invoked through `apply`.
+  template <typename Apply>
+  vit::VitOutput run(const Tensor& images, Apply&& apply);
+
+  vit::ViTConfig config_;
+  QuantOptions options_;
+  QLinearLayer patch_proj_;
+  Tensor cls_, pos_;
+  std::vector<Block> blocks_;
+  LnParams final_ln_;
+  QLinearLayer obj_head_, cls_head_, attr_head_, box_fc1_, box_fc2_, rel_head_;
+  bool finalized_ = false;
+};
+
+}  // namespace itask::quant

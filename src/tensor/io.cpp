@@ -1,0 +1,71 @@
+#include "tensor/io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace itask::io {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4954534Bu;  // "ITSK"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("itask::io: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_state_dict(const StateDict& state, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("itask::io: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(state.size()));
+  for (const auto& [name, tensor] : state) {
+    write_pod(os, static_cast<uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<uint64_t>(tensor.ndim()));
+    for (int64_t d = 0; d < tensor.ndim(); ++d)
+      write_pod(os, static_cast<int64_t>(tensor.dim(d)));
+    os.write(reinterpret_cast<const char*>(tensor.data().data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("itask::io: write failure to " + path);
+}
+
+StateDict load_state_dict(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("itask::io: cannot open " + path);
+  if (read_pod<uint32_t>(is) != kMagic)
+    throw std::runtime_error("itask::io: bad magic in " + path);
+  if (read_pod<uint32_t>(is) != kVersion)
+    throw std::runtime_error("itask::io: unsupported version in " + path);
+  const uint64_t count = read_pod<uint64_t>(is);
+  StateDict state;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t name_len = read_pod<uint64_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rank = read_pod<uint64_t>(is);
+    Shape shape;
+    for (uint64_t d = 0; d < rank; ++d) shape.push_back(read_pod<int64_t>(is));
+    Tensor tensor(shape);
+    is.read(reinterpret_cast<char*>(tensor.data().data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("itask::io: truncated tensor payload");
+    state.emplace(std::move(name), std::move(tensor));
+  }
+  return state;
+}
+
+}  // namespace itask::io

@@ -1,0 +1,22 @@
+// Binary tensor / checkpoint serialization. Format is a tiny custom container
+// ("ITSK"): magic, version, entry count, then (name, rank, dims, payload) per
+// tensor — enough to round-trip model weights between processes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace itask::io {
+
+/// Named tensor collection — the unit of (de)serialization for model weights.
+using StateDict = std::map<std::string, Tensor>;
+
+/// Writes a state dict to `path`; throws std::runtime_error on I/O failure.
+void save_state_dict(const StateDict& state, const std::string& path);
+
+/// Reads a state dict written by save_state_dict; throws on malformed input.
+StateDict load_state_dict(const std::string& path);
+
+}  // namespace itask::io

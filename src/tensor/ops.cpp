@@ -1,0 +1,433 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  ITASK_CHECK(a.shape() == b.shape(),
+              std::string(op) + ": shape mismatch " +
+                  shape_to_string(a.shape()) + " vs " +
+                  shape_to_string(b.shape()));
+}
+
+// Core row-major GEMM: C[M,N] += A[M,K] * B[K,N]; loops ordered (m,k,n) so the
+// inner loop streams both B and C rows — adequate at this project's sizes.
+void gemm_accumulate(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  auto o = out.data();
+  auto bd = b.data();
+  for (size_t i = 0; i < o.size(); ++i) o[i] += bd[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  auto o = out.data();
+  auto bd = b.data();
+  for (size_t i = 0; i < o.size(); ++i) o[i] -= bd[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  auto o = out.data();
+  auto bd = b.data();
+  for (size_t i = 0; i < o.size(); ++i) o[i] *= bd[i];
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out.data()) v += s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out.data()) v *= s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  auto ad = a.data();
+  auto bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) ad[i] += bd[i];
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  auto ad = a.data();
+  auto bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) ad[i] += alpha * bd[i];
+}
+
+Tensor add_rowwise(const Tensor& a, const Tensor& bias) {
+  ITASK_CHECK(bias.ndim() == 1, "add_rowwise: bias must be 1-D");
+  ITASK_CHECK(a.ndim() >= 1, "add_rowwise: input must be at least 1-D");
+  const int64_t c = a.dim(a.ndim() - 1);
+  ITASK_CHECK(bias.dim(0) == c, "add_rowwise: bias length mismatch");
+  Tensor out = a;
+  auto o = out.data();
+  auto bd = bias.data();
+  const int64_t rows = a.numel() / c;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = o.data() + r * c;
+    for (int64_t j = 0; j < c; ++j) row[j] += bd[j];
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul: need 2-D operands");
+  ITASK_CHECK(a.dim(1) == b.dim(0), "matmul: inner dimension mismatch");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  gemm_accumulate(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_bt: need 2-D operands");
+  ITASK_CHECK(a.dim(1) == b.dim(1), "matmul_bt: inner dimension mismatch");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  auto ad = a.data();
+  auto bd = b.data();
+  auto od = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad.data() + i * k;
+    float* orow = od.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd.data() + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_at: need 2-D operands");
+  ITASK_CHECK(a.dim(0) == b.dim(0), "matmul_at: inner dimension mismatch");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  auto ad = a.data();
+  auto bd = b.data();
+  auto od = out.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ad.data() + p * m;
+    const float* brow = bd.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = od.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Fn>
+Tensor batched(const Tensor& a, int64_t m, int64_t n, Fn&& per_batch) {
+  const int64_t batches = a.dim(0);
+  Tensor out({batches, m, n});
+  for (int64_t i = 0; i < batches; ++i) per_batch(i, out);
+  return out;
+}
+
+}  // namespace
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 3 && b.ndim() == 3, "bmm: need 3-D operands");
+  ITASK_CHECK(a.dim(0) == b.dim(0), "bmm: batch mismatch");
+  ITASK_CHECK(a.dim(2) == b.dim(1), "bmm: inner dimension mismatch");
+  const int64_t m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  auto ad = a.data();
+  auto bd = b.data();
+  return batched(a, m, n, [&](int64_t i, Tensor& out) {
+    gemm_accumulate(ad.subspan(i * m * k, m * k), bd.subspan(i * k * n, k * n),
+                    out.data().subspan(i * m * n, m * n), m, k, n);
+  });
+}
+
+Tensor bmm_bt(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 3 && b.ndim() == 3, "bmm_bt: need 3-D operands");
+  ITASK_CHECK(a.dim(0) == b.dim(0), "bmm_bt: batch mismatch");
+  ITASK_CHECK(a.dim(2) == b.dim(2), "bmm_bt: inner dimension mismatch");
+  const int64_t m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  auto ad = a.data();
+  auto bd = b.data();
+  return batched(a, m, n, [&](int64_t i, Tensor& out) {
+    const float* abase = ad.data() + i * m * k;
+    const float* bbase = bd.data() + i * n * k;
+    float* obase = out.data().data() + i * m * n;
+    for (int64_t r = 0; r < m; ++r) {
+      for (int64_t c = 0; c < n; ++c) {
+        float acc = 0.0f;
+        const float* arow = abase + r * k;
+        const float* brow = bbase + c * k;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        obase[r * n + c] = acc;
+      }
+    }
+  });
+}
+
+Tensor bmm_at(const Tensor& a, const Tensor& b) {
+  ITASK_CHECK(a.ndim() == 3 && b.ndim() == 3, "bmm_at: need 3-D operands");
+  ITASK_CHECK(a.dim(0) == b.dim(0), "bmm_at: batch mismatch");
+  ITASK_CHECK(a.dim(1) == b.dim(1), "bmm_at: inner dimension mismatch");
+  const int64_t k = a.dim(1), m = a.dim(2), n = b.dim(2);
+  auto ad = a.data();
+  auto bd = b.data();
+  return batched(a, m, n, [&](int64_t i, Tensor& out) {
+    const float* abase = ad.data() + i * k * m;
+    const float* bbase = bd.data() + i * k * n;
+    float* obase = out.data().data() + i * m * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = abase + p * m;
+      const float* brow = bbase + p * n;
+      for (int64_t r = 0; r < m; ++r) {
+        const float av = arow[r];
+        if (av == 0.0f) continue;
+        float* orow = obase + r * n;
+        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+      }
+    }
+  });
+}
+
+Tensor transpose2d(const Tensor& a) {
+  ITASK_CHECK(a.ndim() == 2, "transpose2d: need 2-D operand");
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  auto ad = a.data();
+  auto od = out.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) od[j * m + i] = ad[i * n + j];
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor relu_grad(const Tensor& input, const Tensor& grad_out) {
+  check_same_shape(input, grad_out, "relu_grad");
+  Tensor out = grad_out;
+  auto o = out.data();
+  auto in = input.data();
+  for (size_t i = 0; i < o.size(); ++i)
+    if (in[i] <= 0.0f) o[i] = 0.0f;
+  return out;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.data()) {
+    const float inner = kGeluC * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+  return out;
+}
+
+Tensor gelu_grad(const Tensor& input, const Tensor& grad_out) {
+  check_same_shape(input, grad_out, "gelu_grad");
+  Tensor out = grad_out;
+  auto o = out.data();
+  auto in = input.data();
+  for (size_t i = 0; i < o.size(); ++i) {
+    const float x = in[i];
+    const float inner = kGeluC * (x + 0.044715f * x * x * x);
+    const float t = std::tanh(inner);
+    const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+    const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+    o[i] *= dgelu;
+  }
+  return out;
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  return out;
+}
+
+Tensor tanh_t(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.data()) v = std::tanh(v);
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  ITASK_CHECK(a.ndim() >= 1, "softmax_lastdim: need at least 1-D");
+  const int64_t c = a.dim(a.ndim() - 1);
+  const int64_t rows = a.numel() / c;
+  Tensor out = a;
+  auto o = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = o.data() + r * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_lastdim(const Tensor& a) {
+  ITASK_CHECK(a.ndim() >= 1, "log_softmax_lastdim: need at least 1-D");
+  const int64_t c = a.dim(a.ndim() - 1);
+  const int64_t rows = a.numel() / c;
+  Tensor out = a;
+  auto o = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = o.data() + r * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t j = 0; j < c; ++j) row[j] -= lse;
+  }
+  return out;
+}
+
+Tensor softmax_backward_lastdim(const Tensor& y, const Tensor& g) {
+  check_same_shape(y, g, "softmax_backward_lastdim");
+  const int64_t c = y.dim(y.ndim() - 1);
+  const int64_t rows = y.numel() / c;
+  Tensor out = y;
+  auto o = out.data();
+  auto yd = y.data();
+  auto gd = g.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yrow = yd.data() + r * c;
+    const float* grow = gd.data() + r * c;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < c; ++j) dot += yrow[j] * grow[j];
+    float* orow = o.data() + r * c;
+    for (int64_t j = 0; j < c; ++j) orow[j] = yrow[j] * (grow[j] - dot);
+  }
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  ITASK_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  ITASK_CHECK(a.numel() > 0, "max of empty tensor");
+  float mx = a.data()[0];
+  for (float v : a.data()) mx = std::max(mx, v);
+  return mx;
+}
+
+std::vector<int64_t> argmax_lastdim(const Tensor& a) {
+  ITASK_CHECK(a.ndim() >= 1, "argmax_lastdim: need at least 1-D");
+  const int64_t c = a.dim(a.ndim() - 1);
+  const int64_t rows = a.numel() / c;
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  auto ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = ad.data() + r * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor sum_to_lastdim(const Tensor& a) {
+  ITASK_CHECK(a.ndim() >= 1, "sum_to_lastdim: need at least 1-D");
+  const int64_t c = a.dim(a.ndim() - 1);
+  const int64_t rows = a.numel() / c;
+  Tensor out({c});
+  auto o = out.data();
+  auto ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = ad.data() + r * c;
+    for (int64_t j = 0; j < c; ++j) o[j] += row[j];
+  }
+  return out;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor concat1d(const std::vector<Tensor>& parts) {
+  ITASK_CHECK(!parts.empty(), "concat1d: empty input");
+  std::vector<float> values;
+  for (const Tensor& t : parts) {
+    ITASK_CHECK(t.ndim() == 1, "concat1d: all parts must be 1-D");
+    values.insert(values.end(), t.data().begin(), t.data().end());
+  }
+  // Read the size before moving: argument evaluation order is unspecified.
+  const int64_t total = static_cast<int64_t>(values.size());
+  return Tensor({total}, std::move(values));
+}
+
+Tensor stack(const std::vector<Tensor>& parts) {
+  ITASK_CHECK(!parts.empty(), "stack: empty input");
+  const Shape& sub = parts.front().shape();
+  Shape shape;
+  shape.push_back(static_cast<int64_t>(parts.size()));
+  shape.insert(shape.end(), sub.begin(), sub.end());
+  Tensor out(std::move(shape));
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ITASK_CHECK(parts[i].shape() == sub, "stack: shape mismatch");
+    out.set_index(static_cast<int64_t>(i), parts[i]);
+  }
+  return out;
+}
+
+}  // namespace itask::ops

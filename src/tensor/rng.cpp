@@ -1,0 +1,53 @@
+#include "tensor/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace itask {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::randint(int64_t lo, int64_t hi) {
+  ITASK_CHECK(lo <= hi, "randint: empty range");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+std::vector<int64_t> Rng::sample_indices(int64_t n, int64_t k) {
+  ITASK_CHECK(k >= 0 && k <= n, "sample_indices: k out of range");
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  shuffle(all);
+  all.resize(static_cast<size_t>(k));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+Tensor Rng::randn(Shape shape, float mean, float stddev) {
+  Tensor out(std::move(shape));
+  for (float& v : out.data()) v = normal(mean, stddev);
+  return out;
+}
+
+Tensor Rng::rand(Shape shape, float lo, float hi) {
+  Tensor out(std::move(shape));
+  for (float& v : out.data()) v = uniform(lo, hi);
+  return out;
+}
+
+}  // namespace itask

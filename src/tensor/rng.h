@@ -1,0 +1,59 @@
+// Deterministic random number generation. Every stochastic component in the
+// iTask stack (init, data generation, LLM-oracle noise, samplers) takes an
+// explicit Rng so experiments are bit-reproducible across runs (DESIGN.md §6.5).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace itask {
+
+/// Seeded Mersenne-Twister wrapper with tensor factories.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f);
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t randint(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator (stable given call order).
+  Rng fork();
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(randint(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n).
+  std::vector<int64_t> sample_indices(int64_t n, int64_t k);
+
+  /// Tensor with i.i.d. N(mean, stddev) entries.
+  Tensor randn(Shape shape, float mean = 0.0f, float stddev = 1.0f);
+
+  /// Tensor with i.i.d. U[lo, hi) entries.
+  Tensor rand(Shape shape, float lo = 0.0f, float hi = 1.0f);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace itask

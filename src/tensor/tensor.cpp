@@ -1,0 +1,161 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace itask {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ITASK_CHECK(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  ITASK_CHECK(static_cast<int64_t>(data_.size()) == shape_numel(shape_),
+              "value count does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  return Tensor({static_cast<int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+Tensor Tensor::from_rows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const int64_t r = static_cast<int64_t>(rows.size());
+  ITASK_CHECK(r > 0, "from_rows needs at least one row");
+  const int64_t c = static_cast<int64_t>(rows.begin()->size());
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(r * c));
+  for (const auto& row : rows) {
+    ITASK_CHECK(static_cast<int64_t>(row.size()) == c,
+                "ragged rows in from_rows");
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  return Tensor({r, c}, std::move(values));
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  ITASK_CHECK(i >= 0 && i < ndim(), "dim index out of range");
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::operator[](int64_t flat_index) {
+  ITASK_CHECK(flat_index >= 0 && flat_index < numel(),
+              "flat index out of range");
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  ITASK_CHECK(flat_index >= 0 && flat_index < numel(),
+              "flat index out of range");
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+int64_t Tensor::flat_offset(std::initializer_list<int64_t> indices) const {
+  ITASK_CHECK(static_cast<int64_t>(indices.size()) == ndim(),
+              "index rank mismatch for shape " + shape_to_string(shape_));
+  int64_t offset = 0;
+  size_t axis = 0;
+  for (int64_t idx : indices) {
+    const int64_t extent = shape_[axis];
+    ITASK_CHECK(idx >= 0 && idx < extent, "index out of range on axis");
+    offset = offset * extent + idx;
+    ++axis;
+  }
+  return offset;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> indices) {
+  return data_[static_cast<size_t>(flat_offset(indices))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> indices) const {
+  return data_[static_cast<size_t>(flat_offset(indices))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  ITASK_CHECK(shape_numel(new_shape) == numel(),
+              "reshape element count mismatch: " + shape_to_string(shape_) +
+                  " -> " + shape_to_string(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::row(int64_t i) const {
+  ITASK_CHECK(ndim() == 2, "row() requires a 2-D tensor");
+  return index(i);
+}
+
+Tensor Tensor::index(int64_t i) const {
+  ITASK_CHECK(ndim() >= 1, "index() requires at least 1-D");
+  const int64_t lead = shape_[0];
+  ITASK_CHECK(i >= 0 && i < lead, "index() out of range");
+  Shape sub(shape_.begin() + 1, shape_.end());
+  const int64_t stride = shape_numel(sub);
+  std::vector<float> values(data_.begin() + i * stride,
+                            data_.begin() + (i + 1) * stride);
+  return Tensor(std::move(sub), std::move(values));
+}
+
+void Tensor::set_index(int64_t i, const Tensor& value) {
+  ITASK_CHECK(ndim() >= 1, "set_index() requires at least 1-D");
+  const int64_t lead = shape_[0];
+  ITASK_CHECK(i >= 0 && i < lead, "set_index() out of range");
+  Shape sub(shape_.begin() + 1, shape_.end());
+  ITASK_CHECK(value.shape() == sub, "set_index() shape mismatch");
+  const int64_t stride = shape_numel(sub);
+  std::copy(value.data_.begin(), value.data_.end(),
+            data_.begin() + i * stride);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const float diff = data_[i] - other.data_[i];
+    if (diff > atol || diff < -atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const int64_t show = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < show; ++i) {
+    if (i != 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > show) os << ", …";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace itask

@@ -1,0 +1,34 @@
+#include "vit/config.h"
+
+#include <sstream>
+
+namespace itask::vit {
+
+ViTConfig ViTConfig::teacher() {
+  ViTConfig c;
+  c.dim = 64;
+  c.depth = 4;
+  c.heads = 4;
+  c.mlp_ratio = 2;
+  return c;
+}
+
+ViTConfig ViTConfig::student() {
+  ViTConfig c;
+  c.dim = 40;
+  c.depth = 2;
+  c.heads = 4;
+  c.mlp_ratio = 2;
+  return c;
+}
+
+std::string ViTConfig::to_string() const {
+  std::ostringstream os;
+  os << "ViT(img=" << image_size << ", patch=" << patch_size
+     << ", dim=" << dim << ", depth=" << depth << ", heads=" << heads
+     << ", mlp=" << mlp_hidden() << ", classes=" << num_classes
+     << ", attrs=" << num_attributes << ")";
+  return os.str();
+}
+
+}  // namespace itask::vit

@@ -1,0 +1,43 @@
+// Vision-transformer configuration and the teacher/student presets used by
+// the iTask dual-configuration scheme (DESIGN.md §2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace itask::vit {
+
+/// Hyper-parameters of a detection ViT. The patch grid doubles as the
+/// detection grid: each patch token predicts objectness/class/attributes/box
+/// for its cell.
+struct ViTConfig {
+  int64_t image_size = 24;
+  int64_t patch_size = 8;
+  int64_t channels = 3;
+  int64_t dim = 48;
+  int64_t depth = 3;
+  int64_t heads = 4;
+  int64_t mlp_ratio = 2;
+  int64_t num_classes = 13;     // object classes, including background = 0
+  int64_t num_attributes = 16;  // abstract attribute vocabulary size
+
+  /// Patch tokens per image (excludes the CLS token).
+  int64_t tokens() const {
+    const int64_t g = image_size / patch_size;
+    return g * g;
+  }
+  int64_t grid() const { return image_size / patch_size; }
+  int64_t mlp_hidden() const { return dim * mlp_ratio; }
+
+  /// The high-capacity model trained on the full multi-task corpus; source
+  /// of distillation targets.
+  static ViTConfig teacher();
+
+  /// The compact model distilled per task (task-specific configuration) or
+  /// quantized for the multi-task configuration.
+  static ViTConfig student();
+
+  std::string to_string() const;
+};
+
+}  // namespace itask::vit

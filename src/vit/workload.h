@@ -1,0 +1,61 @@
+// Bridges the ViT model to the hardware simulator: describes one inference
+// as an ordered list of GEMM and vector operations with exact dimensions.
+// The accelerator scheduler (accel/) consumes this; it never needs to see
+// tensors, only shapes — the same separation a real compiler stack has.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vit/config.h"
+
+namespace itask::vit {
+
+/// One matrix multiplication [m, k] x [k, n]. `weight_resident` is true when
+/// the B operand is a static weight (can be pre-staged / reused across
+/// batches); false for activation×activation products (attention).
+struct GemmOp {
+  std::string name;
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  bool weight_resident = true;
+
+  int64_t macs() const { return m * k * n; }
+  int64_t weight_bytes_int8() const { return weight_resident ? k * n : 0; }
+  int64_t input_bytes_int8() const { return m * k; }
+  int64_t output_bytes_int8() const { return m * n; }
+};
+
+/// One elementwise / row-wise vector operation (softmax, layernorm, GELU…)
+/// executed on the accelerator's vector unit or the GPU's SIMT lanes.
+struct VectorOp {
+  std::string name;
+  int64_t elements = 0;
+  /// Relative cost per element (softmax ≈ 4 flops/elt, layernorm ≈ 6, …).
+  double flops_per_element = 1.0;
+};
+
+/// A full single-model inference, in execution order.
+struct InferenceWorkload {
+  std::string model_name;
+  int64_t batch = 1;
+  std::vector<GemmOp> gemms;
+  std::vector<VectorOp> vector_ops;
+
+  int64_t total_macs() const;
+  int64_t total_weight_bytes_int8() const;
+  int64_t total_activation_bytes_int8() const;
+  double total_vector_flops() const;
+  /// Number of distinct kernels a GPU launch would issue (one per op).
+  int64_t kernel_count() const {
+    return static_cast<int64_t>(gemms.size() + vector_ops.size());
+  }
+};
+
+/// Enumerates every op of a detection-ViT forward pass at batch size `batch`.
+InferenceWorkload build_workload(const ViTConfig& config, int64_t batch,
+                                 const std::string& model_name = "vit");
+
+}  // namespace itask::vit

@@ -1,0 +1,254 @@
+// Attention, transformer, patch embedding, and full-model gradient checks.
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+#include "vit/model.h"
+#include "vit/workload.h"
+
+namespace itask {
+namespace {
+
+using nn::merge_heads;
+using nn::split_heads;
+
+TEST(Heads, SplitMergeRoundTrip) {
+  Rng rng(1);
+  Tensor x = rng.randn({2, 5, 8});
+  for (int64_t heads : {1, 2, 4, 8}) {
+    Tensor split = split_heads(x, heads);
+    EXPECT_EQ(split.shape(), (Shape{2 * heads, 5, 8 / heads}));
+    EXPECT_TRUE(merge_heads(split, heads).allclose(x, 0.0f));
+  }
+}
+
+TEST(Heads, SplitLayout) {
+  // [B=1, T=2, D=4], 2 heads: head h sees dims [h*2, h*2+2).
+  Tensor x({1, 2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = split_heads(x, 2);
+  EXPECT_EQ(s.at({0, 0, 0}), 0.0f);  // head 0, token 0
+  EXPECT_EQ(s.at({0, 1, 1}), 5.0f);  // head 0, token 1
+  EXPECT_EQ(s.at({1, 0, 0}), 2.0f);  // head 1, token 0
+  EXPECT_EQ(s.at({1, 1, 1}), 7.0f);  // head 1, token 1
+}
+
+TEST(Heads, IndivisibleThrows) {
+  EXPECT_THROW(split_heads(Tensor({1, 2, 5}), 2), std::invalid_argument);
+}
+
+TEST(Attention, OutputShapeAndGradCheck) {
+  Rng rng(2);
+  nn::MultiHeadAttention attn(8, 2, rng);
+  const Tensor x = rng.randn({2, 4, 8}, 0.0f, 0.5f);
+  Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 8}));
+  const Tensor target = rng.randn({2, 4, 8});
+  auto loss_fn = [&]() {
+    Tensor out = attn.forward(x);
+    auto res = nn::mse(out, target);
+    attn.backward(res.grad);
+    return res.value;
+  };
+  const auto result = nn::check_gradients(attn, loss_fn, 1e-2f, 4e-2f, 12);
+  EXPECT_TRUE(result.ok) << result.worst_parameter << " rel "
+                         << result.max_rel_error;
+}
+
+TEST(Attention, PermutationEquivariance) {
+  // Self-attention without masking is equivariant to token permutation.
+  Rng rng(3);
+  nn::MultiHeadAttention attn(8, 2, rng);
+  Tensor x = rng.randn({1, 3, 8});
+  Tensor y = attn.forward(x);
+  // Swap tokens 0 and 2 of the input.
+  Tensor xp = x;
+  for (int64_t j = 0; j < 8; ++j) {
+    std::swap(xp.data()[0 * 8 + j], xp.data()[2 * 8 + j]);
+  }
+  Tensor yp = attn.forward(xp);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(yp.at({0, 0, j}), y.at({0, 2, j}), 1e-4f);
+    EXPECT_NEAR(yp.at({0, 2, j}), y.at({0, 0, j}), 1e-4f);
+    EXPECT_NEAR(yp.at({0, 1, j}), y.at({0, 1, j}), 1e-4f);
+  }
+}
+
+TEST(TransformerBlock, GradCheck) {
+  Rng rng(4);
+  nn::TransformerBlock block(6, 2, 12, rng);
+  const Tensor x = rng.randn({1, 3, 6}, 0.0f, 0.5f);
+  const Tensor target = rng.randn({1, 3, 6});
+  auto loss_fn = [&]() {
+    Tensor y = block.forward(x);
+    auto res = nn::mse(y, target);
+    block.backward(res.grad);
+    return res.value;
+  };
+  const auto result = nn::check_gradients(block, loss_fn, 1e-2f, 5e-2f, 8);
+  EXPECT_TRUE(result.ok) << result.worst_parameter << " rel "
+                         << result.max_rel_error;
+}
+
+TEST(TransformerEncoder, DepthAndShape) {
+  Rng rng(5);
+  nn::TransformerEncoder enc(8, 3, 2, 16, rng);
+  EXPECT_EQ(enc.depth(), 3);
+  Tensor x = rng.randn({2, 5, 8});
+  EXPECT_EQ(enc.forward(x).shape(), (Shape{2, 5, 8}));
+  EXPECT_THROW(nn::TransformerEncoder(8, 0, 2, 16, rng),
+               std::invalid_argument);
+}
+
+TEST(Patchify, LayoutAndAdjoint) {
+  // 1 image, 1 channel, 4x4, patch 2 → 4 patches of 4 values.
+  Tensor img({1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) img[i] = static_cast<float>(i);
+  Tensor patches = nn::patchify(img, 2);
+  EXPECT_EQ(patches.shape(), (Shape{1, 4, 4}));
+  // Patch (0,0) = pixels {0,1,4,5}.
+  EXPECT_EQ(patches.at({0, 0, 0}), 0.0f);
+  EXPECT_EQ(patches.at({0, 0, 1}), 1.0f);
+  EXPECT_EQ(patches.at({0, 0, 2}), 4.0f);
+  EXPECT_EQ(patches.at({0, 0, 3}), 5.0f);
+  // Patch (1,1) = pixels {10,11,14,15}.
+  EXPECT_EQ(patches.at({0, 3, 0}), 10.0f);
+  EXPECT_EQ(patches.at({0, 3, 3}), 15.0f);
+  // unpatchify_grad is the exact adjoint: scattering ones and re-gathering
+  // equals identity for non-overlapping patches.
+  Tensor back = nn::unpatchify_grad(patches, 2, 1, 4, 4);
+  EXPECT_TRUE(back.allclose(img, 0.0f));
+}
+
+TEST(PatchEmbed, ShapeAndClsToken) {
+  Rng rng(6);
+  nn::PatchEmbed embed(8, 4, 3, 16, rng);
+  EXPECT_EQ(embed.tokens(), 4);
+  Tensor img = rng.randn({2, 3, 8, 8});
+  Tensor tokens = embed.forward(img);
+  EXPECT_EQ(tokens.shape(), (Shape{2, 5, 16}));
+}
+
+TEST(PatchEmbed, GradCheck) {
+  Rng rng(7);
+  nn::PatchEmbed embed(4, 2, 1, 6, rng);
+  const Tensor img = rng.randn({2, 1, 4, 4});
+  const Tensor target = rng.randn({2, 5, 6});
+  auto loss_fn = [&]() {
+    Tensor tokens = embed.forward(img);
+    auto res = nn::mse(tokens, target);
+    embed.backward(res.grad);
+    return res.value;
+  };
+  const auto result = nn::check_gradients(embed, loss_fn, 1e-2f, 3e-2f, 16);
+  EXPECT_TRUE(result.ok) << result.worst_parameter << " rel "
+                         << result.max_rel_error;
+}
+
+vit::ViTConfig tiny_config() {
+  vit::ViTConfig c;
+  c.image_size = 8;
+  c.patch_size = 4;
+  c.dim = 8;
+  c.depth = 1;
+  c.heads = 2;
+  c.mlp_ratio = 2;
+  c.num_classes = 3;
+  c.num_attributes = 4;
+  return c;
+}
+
+TEST(VitModel, OutputShapes) {
+  Rng rng(8);
+  vit::VitModel model(tiny_config(), rng);
+  Tensor img = rng.randn({2, 3, 8, 8});
+  const vit::VitOutput out = model.forward(img);
+  EXPECT_EQ(out.objectness.shape(), (Shape{2, 4, 1}));
+  EXPECT_EQ(out.class_logits.shape(), (Shape{2, 4, 3}));
+  EXPECT_EQ(out.attr_logits.shape(), (Shape{2, 4, 4}));
+  EXPECT_EQ(out.box_deltas.shape(), (Shape{2, 4, 4}));
+  EXPECT_EQ(out.relevance.shape(), (Shape{2, 4, 1}));
+  EXPECT_EQ(out.features.shape(), (Shape{2, 5, 8}));
+}
+
+TEST(VitModel, FullGradCheckThroughAllHeads) {
+  Rng rng(9);
+  vit::VitModel model(tiny_config(), rng);
+  const Tensor img = rng.randn({1, 3, 8, 8}, 0.0f, 0.5f);
+  const std::vector<int64_t> labels{0, 1, 2, 0};
+  auto loss_fn = [&]() {
+    const vit::VitOutput out = model.forward(img);
+    vit::VitOutputGrads grads;
+    float total = 0.0f;
+    {
+      auto res = nn::bce_with_logits(out.objectness,
+                                     Tensor({1, 4, 1}, 1.0f));
+      total += res.value;
+      grads.objectness = res.grad;
+    }
+    {
+      auto res = nn::softmax_cross_entropy(out.class_logits, labels);
+      total += res.value;
+      grads.class_logits = res.grad;
+    }
+    {
+      auto res = nn::mse(out.attr_logits, Tensor({1, 4, 4}, 0.5f));
+      total += res.value;
+      grads.attr_logits = res.grad;
+    }
+    {
+      auto res = nn::mse(out.box_deltas, Tensor({1, 4, 4}, 0.1f));
+      total += res.value;
+      grads.box_deltas = res.grad;
+    }
+    {
+      auto res = nn::bce_with_logits(out.relevance, Tensor({1, 4, 1}, 0.0f));
+      total += res.value;
+      grads.relevance = res.grad;
+    }
+    model.backward(grads);
+    return total;
+  };
+  const auto result = nn::check_gradients(model, loss_fn, 2e-3f, 5e-2f, 6);
+  EXPECT_TRUE(result.ok) << result.worst_parameter << " rel "
+                         << result.max_rel_error;
+}
+
+TEST(VitModel, DeterministicForward) {
+  Rng rng1(10), rng2(10);
+  vit::VitModel m1(tiny_config(), rng1), m2(tiny_config(), rng2);
+  Rng data(11);
+  Tensor img = data.randn({1, 3, 8, 8});
+  EXPECT_TRUE(m1.forward(img).objectness.allclose(m2.forward(img).objectness,
+                                                  0.0f));
+}
+
+TEST(Workload, OpInventoryMatchesConfig) {
+  vit::ViTConfig c = tiny_config();
+  const auto w = vit::build_workload(c, 2);
+  // patch_embed + depth*(qkv, scores, attn_value, proj, fc1, fc2) + 6 heads.
+  EXPECT_EQ(static_cast<int64_t>(w.gemms.size()), 1 + c.depth * 6 + 6);
+  EXPECT_GT(w.total_macs(), 0);
+  EXPECT_GT(w.total_weight_bytes_int8(), 0);
+  EXPECT_EQ(w.batch, 2);
+  // Attention products carry no weights.
+  for (const auto& g : w.gemms) {
+    if (g.name.find("attn_") != std::string::npos)
+      EXPECT_EQ(g.weight_bytes_int8(), 0) << g.name;
+  }
+}
+
+TEST(Workload, MacsScaleLinearlyWithBatch) {
+  vit::ViTConfig c = tiny_config();
+  const auto w1 = vit::build_workload(c, 1);
+  const auto w4 = vit::build_workload(c, 4);
+  EXPECT_EQ(w4.total_macs(), 4 * w1.total_macs());
+  // Weight bytes do NOT scale with batch.
+  EXPECT_EQ(w4.total_weight_bytes_int8(), w1.total_weight_bytes_int8());
+}
+
+}  // namespace
+}  // namespace itask

@@ -1,0 +1,313 @@
+// Data substrate tests: ontology consistency, instance attribute resolution,
+// rasterizer behaviour, scene generation invariants, task predicates, and
+// box encoding round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/renderer.h"
+#include "data/tasks.h"
+
+namespace itask::data {
+namespace {
+
+TEST(Attributes, NamesAndCounts) {
+  EXPECT_EQ(kNumAttributes, 16);
+  EXPECT_EQ(kNumClasses, 13);
+  EXPECT_EQ(attribute_name(Attribute::kMetallic), "metallic");
+  EXPECT_EQ(attribute_name(Attribute::kOrganic), "organic");
+  EXPECT_EQ(class_name(ObjectClass::kBackground), "background");
+  EXPECT_EQ(class_name(ObjectClass::kAnimal), "animal");
+}
+
+TEST(Attributes, BackgroundPrototypeIsZero) {
+  const Tensor p = class_attribute_prototype(ObjectClass::kBackground);
+  for (int64_t i = 0; i < kNumAttributes; ++i) EXPECT_EQ(p[i], 0.0f);
+}
+
+class PrototypeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrototypeProperty, ValuesInUnitRange) {
+  const auto cls = static_cast<ObjectClass>(GetParam());
+  const Tensor p = class_attribute_prototype(cls);
+  EXPECT_EQ(p.numel(), kNumAttributes);
+  for (int64_t i = 0; i < kNumAttributes; ++i) {
+    EXPECT_GE(p[i], 0.0f);
+    EXPECT_LE(p[i], 1.0f);
+  }
+}
+
+TEST_P(PrototypeProperty, InstanceResolutionRespectsSizeRule) {
+  const auto cls = static_cast<ObjectClass>(GetParam());
+  if (cls == ObjectClass::kBackground) return;
+  float r, g, b;
+  class_base_color(cls, r, g, b);
+  const Tensor big = resolve_instance_attributes(cls, 0.95f, r, g, b, false);
+  EXPECT_EQ(big[attr_index(Attribute::kLarge)], 1.0f);
+  EXPECT_EQ(big[attr_index(Attribute::kSmall)], 0.0f);
+  const Tensor small = resolve_instance_attributes(cls, 0.5f, r, g, b, false);
+  EXPECT_EQ(small[attr_index(Attribute::kLarge)], 0.0f);
+  EXPECT_EQ(small[attr_index(Attribute::kSmall)], 1.0f);
+}
+
+TEST_P(PrototypeProperty, MovingFlagReflected) {
+  const auto cls = static_cast<ObjectClass>(GetParam());
+  if (cls == ObjectClass::kBackground) return;
+  float r, g, b;
+  class_base_color(cls, r, g, b);
+  EXPECT_EQ(resolve_instance_attributes(cls, 0.7f, r, g, b,
+                                        true)[attr_index(Attribute::kMoving)],
+            1.0f);
+  EXPECT_EQ(resolve_instance_attributes(cls, 0.7f, r, g, b,
+                                        false)[attr_index(Attribute::kMoving)],
+            0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, PrototypeProperty,
+                         ::testing::Range(0, static_cast<int>(kNumClasses)));
+
+TEST(InstanceAttributes, HueFollowsDominantChannel) {
+  const Tensor red = resolve_instance_attributes(ObjectClass::kFruit, 0.7f,
+                                                 0.9f, 0.2f, 0.2f, false);
+  EXPECT_EQ(red[attr_index(Attribute::kRedHue)], 1.0f);
+  EXPECT_EQ(red[attr_index(Attribute::kGreenHue)], 0.0f);
+  const Tensor green = resolve_instance_attributes(ObjectClass::kFruit, 0.7f,
+                                                   0.2f, 0.9f, 0.2f, false);
+  EXPECT_EQ(green[attr_index(Attribute::kGreenHue)], 1.0f);
+}
+
+TEST(InstanceAttributes, LuminanceDrivesBrightDark) {
+  const Tensor bright = resolve_instance_attributes(ObjectClass::kGauze, 0.7f,
+                                                    0.95f, 0.95f, 0.9f, false);
+  EXPECT_EQ(bright[attr_index(Attribute::kBright)], 1.0f);
+  EXPECT_EQ(bright[attr_index(Attribute::kDark)], 0.0f);
+  const Tensor dark = resolve_instance_attributes(ObjectClass::kCrack, 0.7f,
+                                                  0.1f, 0.1f, 0.1f, false);
+  EXPECT_EQ(dark[attr_index(Attribute::kDark)], 1.0f);
+  EXPECT_EQ(dark[attr_index(Attribute::kBright)], 0.0f);
+}
+
+TEST(Canvas, RequiresRgbImage) {
+  Tensor bad({1, 4, 4});
+  EXPECT_THROW(Canvas{bad}, std::invalid_argument);
+}
+
+TEST(Canvas, BlendIgnoresOutOfBounds) {
+  Tensor img({3, 4, 4});
+  Canvas canvas(img);
+  canvas.blend(-1, 0, 1, 1, 1);
+  canvas.blend(0, 99, 1, 1, 1);
+  for (float v : img.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Canvas, BlendAlphaMath) {
+  Tensor img({3, 2, 2}, 0.5f);
+  Canvas canvas(img);
+  canvas.blend(0, 0, 1.0f, 0.0f, 0.5f, 0.5f);
+  EXPECT_NEAR(img.at({0, 0, 0}), 0.75f, 1e-6f);  // r
+  EXPECT_NEAR(img.at({1, 0, 0}), 0.25f, 1e-6f);  // g
+  EXPECT_NEAR(img.at({2, 0, 0}), 0.5f, 1e-6f);   // b
+}
+
+TEST(Canvas, FillRectCoversInterior) {
+  Tensor img({3, 8, 8});
+  Canvas canvas(img);
+  canvas.fill_rect(2, 2, 6, 6, 1, 1, 1);
+  EXPECT_EQ(img.at({0, 4, 4}), 1.0f);
+  EXPECT_EQ(img.at({0, 0, 0}), 0.0f);
+  EXPECT_EQ(img.at({0, 7, 7}), 0.0f);
+}
+
+TEST(Canvas, FillCircleRespectsRadius) {
+  Tensor img({3, 9, 9});
+  Canvas canvas(img);
+  canvas.fill_circle(4.5f, 4.5f, 2.0f, 1, 0, 0);
+  EXPECT_EQ(img.at({0, 4, 4}), 1.0f);   // centre
+  EXPECT_EQ(img.at({0, 0, 0}), 0.0f);   // far corner untouched
+  EXPECT_EQ(img.at({0, 4, 8}), 0.0f);   // outside radius
+}
+
+TEST(Generator, InvariantsOverManyScenes) {
+  GeneratorOptions opt;
+  SceneGenerator gen(opt);
+  Rng rng(77);
+  for (int s = 0; s < 30; ++s) {
+    const Scene scene = gen.generate(rng);
+    EXPECT_EQ(scene.image.shape(), (Shape{3, 24, 24}));
+    EXPECT_GE(static_cast<int64_t>(scene.objects.size()), opt.min_objects);
+    EXPECT_LE(static_cast<int64_t>(scene.objects.size()), opt.max_objects);
+    std::set<int64_t> cells;
+    for (const ObjectInstance& o : scene.objects) {
+      EXPECT_TRUE(cells.insert(o.cell).second) << "duplicate cell";
+      EXPECT_GE(o.cell, 0);
+      EXPECT_LT(o.cell, 9);
+      EXPECT_NE(o.cls, ObjectClass::kBackground);
+      // Instance attributes must equal the resolver output.
+      EXPECT_TRUE(o.attributes.allclose(
+          resolve_instance_attributes(o.cls, o.scale, o.r, o.g, o.b,
+                                      o.moving),
+          0.0f));
+      // Centre stays within its cell ± jitter.
+      const float cell_px = 8.0f;
+      const float cx_cell = (static_cast<float>(o.cell % 3) + 0.5f) * cell_px;
+      EXPECT_NEAR(o.box.cx, cx_cell, cell_px * 0.2f);
+    }
+    // Rendering leaves background noise in [0.05, 0.15] plus object pixels.
+    float mx = 0.0f;
+    for (float v : scene.image.data()) mx = std::max(mx, v);
+    EXPECT_GT(mx, 0.2f);  // something was drawn
+  }
+}
+
+TEST(Generator, ClassPoolRestrictsClasses) {
+  GeneratorOptions opt;
+  opt.class_pool = std::vector<ObjectClass>{ObjectClass::kScalpel,
+                                            ObjectClass::kGauze};
+  SceneGenerator gen(opt);
+  Rng rng(5);
+  for (int s = 0; s < 10; ++s) {
+    for (const auto& o : gen.generate(rng).objects) {
+      EXPECT_TRUE(o.cls == ObjectClass::kScalpel ||
+                  o.cls == ObjectClass::kGauze);
+    }
+  }
+}
+
+TEST(Generator, BadOptionsThrow) {
+  GeneratorOptions opt;
+  opt.image_size = 25;  // not divisible by grid 3
+  EXPECT_THROW(SceneGenerator{opt}, std::invalid_argument);
+  GeneratorOptions opt2;
+  opt2.min_objects = 5;
+  opt2.max_objects = 3;
+  EXPECT_THROW(SceneGenerator{opt2}, std::invalid_argument);
+  GeneratorOptions opt3;
+  opt3.max_objects = 10;  // > 9 cells
+  EXPECT_THROW(SceneGenerator{opt3}, std::invalid_argument);
+}
+
+TEST(Tasks, LibraryHasEightStableTasks) {
+  const auto& lib = task_library();
+  ASSERT_EQ(lib.size(), 8u);
+  for (size_t i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(lib[i].id, static_cast<int64_t>(i));
+    EXPECT_FALSE(lib[i].name.empty());
+    EXPECT_FALSE(lib[i].description.empty());
+    EXPECT_EQ(lib[i].positive.numel(), kNumAttributes);
+    EXPECT_EQ(lib[i].negative.numel(), kNumAttributes);
+  }
+  EXPECT_THROW(task_by_id(8), std::invalid_argument);
+  EXPECT_THROW(task_by_id(-1), std::invalid_argument);
+}
+
+TEST(Tasks, SurgicalSharpsPredicate) {
+  const TaskSpec& t = task_by_id(1);
+  float r, g, b;
+  class_base_color(ObjectClass::kScalpel, r, g, b);
+  // A scalpel (sharp + metallic) is relevant regardless of size.
+  EXPECT_TRUE(t.is_relevant(
+      resolve_instance_attributes(ObjectClass::kScalpel, 0.9f, r, g, b,
+                                  false)));
+  // A fruit is not.
+  class_base_color(ObjectClass::kFruit, r, g, b);
+  EXPECT_FALSE(t.is_relevant(
+      resolve_instance_attributes(ObjectClass::kFruit, 0.7f, r, g, b, false)));
+}
+
+TEST(Tasks, MovingEntitiesPredicateIsInstanceLevel) {
+  const TaskSpec& t = task_by_id(7);
+  float r, g, b;
+  class_base_color(ObjectClass::kCar, r, g, b);
+  EXPECT_TRUE(t.is_relevant(
+      resolve_instance_attributes(ObjectClass::kCar, 0.9f, r, g, b, true)));
+  EXPECT_FALSE(t.is_relevant(
+      resolve_instance_attributes(ObjectClass::kCar, 0.9f, r, g, b, false)));
+}
+
+TEST(Tasks, DrivingHazardsExcludesSmallObjects) {
+  const TaskSpec& t = task_by_id(0);
+  float r, g, b;
+  class_base_color(ObjectClass::kScalpel, r, g, b);
+  // A small scalpel is hazardous but not a *driving* hazard.
+  EXPECT_FALSE(t.is_relevant(resolve_instance_attributes(
+      ObjectClass::kScalpel, 0.5f, r, g, b, false)));
+}
+
+TEST(Boxes, EncodeDecodeRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    BoxPx box;
+    const int64_t cell = rng.randint(0, 8);
+    const float cell_px = 8.0f;
+    box.cx = (static_cast<float>(cell % 3) + 0.5f) * cell_px +
+             rng.uniform(-2.0f, 2.0f);
+    box.cy = (static_cast<float>(cell / 3) + 0.5f) * cell_px +
+             rng.uniform(-2.0f, 2.0f);
+    box.w = rng.uniform(2.0f, 8.0f);
+    box.h = rng.uniform(2.0f, 8.0f);
+    float enc[4];
+    encode_box(box, cell, 3, cell_px, enc);
+    const BoxPx back = decode_box(enc, cell, 3, cell_px);
+    EXPECT_NEAR(back.cx, box.cx, 1e-4f);
+    EXPECT_NEAR(back.cy, box.cy, 1e-4f);
+    EXPECT_NEAR(back.w, box.w, 1e-3f);
+    EXPECT_NEAR(back.h, box.h, 1e-3f);
+  }
+}
+
+TEST(Dataset, BatchLabelsMatchScenes) {
+  GeneratorOptions opt;
+  SceneGenerator gen(opt);
+  Rng rng(41);
+  const Dataset ds = Dataset::generate(gen, 8, rng);
+  EXPECT_EQ(ds.size(), 8);
+  const auto idx = ds.all_indices();
+  const TaskSpec& task = task_by_id(2);  // fragile_items
+  const Batch batch = ds.make_batch(idx, &task);
+  EXPECT_EQ(batch.images.shape(), (Shape{8, 3, 24, 24}));
+  for (int64_t bi = 0; bi < 8; ++bi) {
+    const Scene& scene = ds.scene(bi);
+    int64_t object_cells = 0;
+    for (int64_t cell = 0; cell < 9; ++cell)
+      if (batch.objectness.at({bi, cell, 0}) > 0.5f) ++object_cells;
+    EXPECT_EQ(object_cells, static_cast<int64_t>(scene.objects.size()));
+    for (const ObjectInstance& o : scene.objects) {
+      EXPECT_EQ(batch.cell_class[static_cast<size_t>(bi * 9 + o.cell)],
+                class_index(o.cls));
+      EXPECT_EQ(batch.relevance.at({bi, o.cell, 0}),
+                task.is_relevant(o.attributes) ? 1.0f : 0.0f);
+      for (int64_t a = 0; a < kNumAttributes; ++a) {
+        EXPECT_EQ(batch.attributes.at({bi, o.cell, a}), o.attributes[a]);
+        EXPECT_EQ(batch.attr_mask.at({bi, o.cell, a}), 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Dataset, EmptyBatchThrows) {
+  Dataset ds;
+  std::vector<int64_t> none;
+  EXPECT_THROW(ds.make_batch(none), std::invalid_argument);
+}
+
+TEST(Dataset, FewShotSamplerReturnsRelevantScenes) {
+  GeneratorOptions opt;
+  SceneGenerator gen(opt);
+  Rng rng(51);
+  const Dataset ds = Dataset::generate(gen, 64, rng);
+  const TaskSpec& task = task_by_id(2);
+  const auto shots = sample_few_shot(ds, task, 4, rng);
+  EXPECT_LE(shots.size(), 4u);
+  for (int64_t idx : shots) {
+    bool has_relevant = false;
+    for (const auto& o : ds.scene(idx).objects)
+      has_relevant |= task.is_relevant(o.attributes);
+    EXPECT_TRUE(has_relevant);
+  }
+}
+
+}  // namespace
+}  // namespace itask::data

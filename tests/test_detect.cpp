@@ -1,0 +1,211 @@
+// Detection substrate tests: IoU properties, NMS behaviour, evaluation
+// metrics against hand-constructed scenarios, and the output decoder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/decoder.h"
+#include "detect/metrics.h"
+#include "detect/nms.h"
+#include "tensor/rng.h"
+
+namespace itask::detect {
+namespace {
+
+BoxPx box(float cx, float cy, float w, float h) { return BoxPx{cx, cy, w, h}; }
+
+TEST(Iou, HandCases) {
+  EXPECT_FLOAT_EQ(iou(box(5, 5, 4, 4), box(5, 5, 4, 4)), 1.0f);
+  EXPECT_FLOAT_EQ(iou(box(0, 0, 2, 2), box(10, 10, 2, 2)), 0.0f);
+  // Half overlap: [0,4]x[0,4] vs [2,6]x[0,4] → inter 8, union 24.
+  EXPECT_NEAR(iou(box(2, 2, 4, 4), box(4, 2, 4, 4)), 8.0f / 24.0f, 1e-5f);
+}
+
+TEST(Iou, DegenerateBoxesScoreZero) {
+  EXPECT_EQ(iou(box(1, 1, 0, 4), box(1, 1, 4, 4)), 0.0f);
+  EXPECT_EQ(iou(box(1, 1, 4, 4), box(1, 1, 4, -1)), 0.0f);
+}
+
+class IouProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouProperty, SymmetricBoundedAndSelfUnit) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    const BoxPx a = box(rng.uniform(0, 20), rng.uniform(0, 20),
+                        rng.uniform(0.5f, 10), rng.uniform(0.5f, 10));
+    const BoxPx b = box(rng.uniform(0, 20), rng.uniform(0, 20),
+                        rng.uniform(0.5f, 10), rng.uniform(0.5f, 10));
+    const float ab = iou(a, b);
+    EXPECT_FLOAT_EQ(ab, iou(b, a));
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_LE(ab, 1.0f + 1e-6f);
+    EXPECT_NEAR(iou(a, a), 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouProperty, ::testing::Values(1, 2, 3));
+
+Detection det(BoxPx b, float conf) {
+  Detection d;
+  d.box = b;
+  d.confidence = conf;
+  return d;
+}
+
+TEST(Nms, SuppressesOverlaps) {
+  std::vector<Detection> dets{det(box(5, 5, 4, 4), 0.9f),
+                              det(box(5.5f, 5, 4, 4), 0.8f),
+                              det(box(15, 15, 4, 4), 0.7f)};
+  const auto kept = nms(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].confidence, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].confidence, 0.7f);
+}
+
+TEST(Nms, KeepsAllWhenDisjoint) {
+  std::vector<Detection> dets{det(box(2, 2, 2, 2), 0.5f),
+                              det(box(10, 10, 2, 2), 0.9f),
+                              det(box(20, 20, 2, 2), 0.7f)};
+  const auto kept = nms(dets, 0.5f);
+  EXPECT_EQ(kept.size(), 3u);
+  // Sorted by confidence.
+  EXPECT_GT(kept[0].confidence, kept[1].confidence);
+  EXPECT_GT(kept[1].confidence, kept[2].confidence);
+}
+
+TEST(Nms, ThresholdControlsAggressiveness) {
+  std::vector<Detection> dets{det(box(5, 5, 4, 4), 0.9f),
+                              det(box(6.5f, 5, 4, 4), 0.8f)};  // IoU ≈ 0.38
+  EXPECT_EQ(nms(dets, 0.5f).size(), 2u);
+  EXPECT_EQ(nms(dets, 0.3f).size(), 1u);
+}
+
+TEST(Nms, EmptyInput) { EXPECT_TRUE(nms({}, 0.5f).empty()); }
+
+GroundTruthObject gt(BoxPx b, bool relevant) {
+  GroundTruthObject g;
+  g.box = b;
+  g.task_relevant = relevant;
+  return g;
+}
+
+TEST(Metrics, PerfectDetection) {
+  std::vector<std::vector<Detection>> dets{
+      {det(box(5, 5, 4, 4), 0.9f), det(box(15, 15, 4, 4), 0.8f)}};
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(5, 5, 4, 4), true), gt(box(15, 15, 4, 4), true)}};
+  const EvalResult r = evaluate(dets, truth);
+  EXPECT_EQ(r.true_positives, 2);
+  EXPECT_EQ(r.false_positives, 0);
+  EXPECT_EQ(r.false_negatives, 0);
+  EXPECT_FLOAT_EQ(r.precision, 1.0f);
+  EXPECT_FLOAT_EQ(r.recall, 1.0f);
+  EXPECT_FLOAT_EQ(r.f1, 1.0f);
+  EXPECT_FLOAT_EQ(r.average_precision, 1.0f);
+  EXPECT_NEAR(r.mean_iou, 1.0f, 1e-6f);
+}
+
+TEST(Metrics, MissedObjectCountsAsFalseNegative) {
+  std::vector<std::vector<Detection>> dets{{det(box(5, 5, 4, 4), 0.9f)}};
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(5, 5, 4, 4), true), gt(box(15, 15, 4, 4), true)}};
+  const EvalResult r = evaluate(dets, truth);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_negatives, 1);
+  EXPECT_FLOAT_EQ(r.recall, 0.5f);
+  EXPECT_FLOAT_EQ(r.precision, 1.0f);
+}
+
+TEST(Metrics, DetectionOnIrrelevantObjectIsFalsePositive) {
+  // The task-oriented twist: hitting a non-relevant object is a mistake.
+  std::vector<std::vector<Detection>> dets{{det(box(5, 5, 4, 4), 0.9f)}};
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(5, 5, 4, 4), false)}};
+  const EvalResult r = evaluate(dets, truth);
+  EXPECT_EQ(r.true_positives, 0);
+  EXPECT_EQ(r.false_positives, 1);
+  EXPECT_EQ(r.false_negatives, 0);
+}
+
+TEST(Metrics, DuplicateDetectionsPenalised) {
+  std::vector<std::vector<Detection>> dets{
+      {det(box(5, 5, 4, 4), 0.9f), det(box(5, 5, 4, 4), 0.8f)}};
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(5, 5, 4, 4), true)}};
+  const EvalResult r = evaluate(dets, truth);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_positives, 1);
+}
+
+TEST(Metrics, ApRewardsRankingQuality) {
+  // Same TP/FP counts, but ranking TP first yields higher AP.
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(5, 5, 4, 4), true)}};
+  std::vector<std::vector<Detection>> good{
+      {det(box(5, 5, 4, 4), 0.9f), det(box(15, 15, 4, 4), 0.1f)}};
+  std::vector<std::vector<Detection>> bad{
+      {det(box(5, 5, 4, 4), 0.1f), det(box(15, 15, 4, 4), 0.9f)}};
+  EXPECT_GT(evaluate(good, truth).average_precision,
+            evaluate(bad, truth).average_precision);
+}
+
+TEST(Metrics, EmptySceneConventions) {
+  // No truth, no detections → perfect.
+  std::vector<std::vector<Detection>> none{{}};
+  std::vector<std::vector<GroundTruthObject>> empty_truth{{}};
+  const EvalResult r = evaluate(none, empty_truth);
+  EXPECT_FLOAT_EQ(r.precision, 1.0f);
+  EXPECT_FLOAT_EQ(r.recall, 1.0f);
+  // No truth but spurious detections → zero precision.
+  std::vector<std::vector<Detection>> spurious{{det(box(5, 5, 4, 4), 0.9f)}};
+  EXPECT_FLOAT_EQ(evaluate(spurious, empty_truth).precision, 0.0f);
+}
+
+TEST(Metrics, SceneCountMismatchThrows) {
+  std::vector<std::vector<Detection>> dets(2);
+  std::vector<std::vector<GroundTruthObject>> truth(3);
+  EXPECT_THROW(evaluate(dets, truth), std::invalid_argument);
+}
+
+TEST(Decoder, ThresholdGatesCells) {
+  vit::VitOutput out;
+  out.objectness = Tensor({1, 9, 1}, -5.0f);     // all background…
+  out.objectness.at({0, 4, 0}) = 5.0f;           // …except the centre cell
+  out.class_logits = Tensor({1, 9, 3});
+  out.class_logits.at({0, 4, 2}) = 4.0f;
+  out.attr_logits = Tensor({1, 9, 4});
+  out.box_deltas = Tensor({1, 9, 4});
+  DecoderOptions options;
+  options.grid = 3;
+  options.image_size = 24;
+  const auto dets = decode(out, options);
+  ASSERT_EQ(dets.size(), 1u);
+  ASSERT_EQ(dets[0].size(), 1u);
+  const Detection& d = dets[0][0];
+  EXPECT_EQ(d.cell, 4);
+  EXPECT_GT(d.objectness, 0.99f);
+  EXPECT_EQ(d.predicted_class, 2);
+  // Zero deltas → box centred on the cell with cell-sized extent.
+  EXPECT_NEAR(d.box.cx, 12.0f, 1e-4f);
+  EXPECT_NEAR(d.box.cy, 12.0f, 1e-4f);
+  EXPECT_NEAR(d.box.w, 8.0f, 1e-3f);
+  // Probabilities are normalised.
+  float sum = 0.0f;
+  for (int64_t c = 0; c < 3; ++c) sum += d.class_probs[c];
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Decoder, GridMismatchThrows) {
+  vit::VitOutput out;
+  out.objectness = Tensor({1, 9, 1});
+  out.class_logits = Tensor({1, 9, 3});
+  out.attr_logits = Tensor({1, 9, 4});
+  out.box_deltas = Tensor({1, 9, 4});
+  DecoderOptions options;
+  options.grid = 4;  // 16 ≠ 9
+  options.image_size = 24;
+  EXPECT_THROW(decode(out, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itask::detect

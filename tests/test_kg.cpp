@@ -1,0 +1,214 @@
+// Knowledge-graph tests: graph structure, queries, serialization round
+// trips, task compilation (1-hop and 2-hop), and the matcher.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "kg/graph.h"
+#include "kg/matcher.h"
+#include "kg/serialize.h"
+
+namespace itask::kg {
+namespace {
+
+KnowledgeGraph make_small_graph() {
+  KnowledgeGraph g;
+  const NodeId task = g.add_node(NodeType::kTask, "task");
+  const NodeId sharp = g.add_node(NodeType::kAttribute, "sharp");
+  g.set_property(sharp, "index", 0.0f);
+  const NodeId metallic = g.add_node(NodeType::kAttribute, "metallic");
+  g.set_property(metallic, "index", 1.0f);
+  const NodeId organic = g.add_node(NodeType::kAttribute, "organic");
+  g.set_property(organic, "index", 2.0f);
+  const NodeId scalpel = g.add_node(NodeType::kObjectClass, "scalpel");
+  g.set_property(scalpel, "index", 1.0f);
+  const NodeId fruit = g.add_node(NodeType::kObjectClass, "fruit");
+  g.set_property(fruit, "index", 2.0f);
+  g.add_edge(task, sharp, Relation::kRequires, 0.6f);
+  g.add_edge(task, metallic, Relation::kRequires, 0.5f);
+  g.add_edge(task, organic, Relation::kExcludes, 0.4f);
+  g.add_edge(scalpel, sharp, Relation::kHasAttribute, 1.0f);
+  g.add_edge(scalpel, metallic, Relation::kHasAttribute, 1.0f);
+  g.add_edge(fruit, organic, Relation::kHasAttribute, 1.0f);
+  g.set_property(task, "threshold", 0.8f);
+  return g;
+}
+
+TEST(Graph, NodesAndEdges) {
+  const KnowledgeGraph g = make_small_graph();
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_EQ(g.find("task", NodeType::kTask), 0);
+  EXPECT_EQ(g.find("sharp"), 1);
+  EXPECT_EQ(g.find("nonexistent"), kInvalidNode);
+  EXPECT_EQ(g.find("task", NodeType::kAttribute), kInvalidNode);
+}
+
+TEST(Graph, EdgesFromFiltersByRelation) {
+  const KnowledgeGraph g = make_small_graph();
+  EXPECT_EQ(g.edges_from(0).size(), 3u);
+  EXPECT_EQ(g.edges_from(0, Relation::kRequires).size(), 2u);
+  EXPECT_EQ(g.edges_from(0, Relation::kExcludes).size(), 1u);
+  EXPECT_EQ(g.edges_from(4, Relation::kHasAttribute).size(), 2u);
+}
+
+TEST(Graph, Properties) {
+  KnowledgeGraph g = make_small_graph();
+  EXPECT_FLOAT_EQ(g.property(0, "threshold").value(), 0.8f);
+  EXPECT_FALSE(g.property(0, "missing").has_value());
+  g.set_property(0, "threshold", 0.9f);
+  EXPECT_FLOAT_EQ(g.property(0, "threshold").value(), 0.9f);
+  EXPECT_THROW(g.set_property(99, "x", 1.0f), std::invalid_argument);
+}
+
+TEST(Graph, BadEdgeThrows) {
+  KnowledgeGraph g;
+  g.add_node(NodeType::kTask, "t");
+  EXPECT_THROW(g.add_edge(0, 5, Relation::kRequires, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(Graph, RemoveEdgesIf) {
+  KnowledgeGraph g = make_small_graph();
+  const int64_t removed = g.remove_edges_if(
+      [](const Edge& e) { return e.relation == Relation::kHasAttribute; });
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(g.edge_count(), 3);
+}
+
+TEST(Graph, ToTextMentionsEverything) {
+  const std::string text = make_small_graph().to_text();
+  EXPECT_NE(text.find("task"), std::string::npos);
+  EXPECT_NE(text.find("requires"), std::string::npos);
+  EXPECT_NE(text.find("has_attribute"), std::string::npos);
+}
+
+TEST(Serialize, RoundTrip) {
+  const KnowledgeGraph g = make_small_graph();
+  const KnowledgeGraph back = deserialize(serialize(g));
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_FLOAT_EQ(back.property(0, "threshold").value(), 0.8f);
+  EXPECT_EQ(back.node(4).type, NodeType::kObjectClass);
+  EXPECT_EQ(back.node(4).label, "scalpel");
+  const auto edges = back.edges_from(0, Relation::kExcludes);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_FLOAT_EQ(edges[0].weight, 0.4f);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "itask_kg_test.txt").string();
+  save_graph(make_small_graph(), path);
+  const KnowledgeGraph back = load_graph(path);
+  EXPECT_EQ(back.node_count(), 6);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadHeaderThrows) {
+  EXPECT_THROW(deserialize("WRONG v9\n"), std::invalid_argument);
+}
+
+TEST(Serialize, WhitespaceLabelThrows) {
+  KnowledgeGraph g;
+  g.add_node(NodeType::kTask, "has space");
+  EXPECT_THROW(serialize(g), std::invalid_argument);
+}
+
+TEST(CompileTask, OneHopWeights) {
+  const KnowledgeGraph g = make_small_graph();
+  const CompiledTask ct = compile_task(g, 0, 3, 3);
+  EXPECT_FLOAT_EQ(ct.positive[0], 0.6f);  // sharp
+  EXPECT_FLOAT_EQ(ct.positive[1], 0.5f);  // metallic
+  EXPECT_FLOAT_EQ(ct.positive[2], 0.0f);
+  EXPECT_FLOAT_EQ(ct.negative[2], 0.4f);  // organic excluded
+  EXPECT_FLOAT_EQ(ct.threshold, 0.8f);
+}
+
+TEST(CompileTask, TwoHopClassAffinity) {
+  const KnowledgeGraph g = make_small_graph();
+  const CompiledTask ct = compile_task(g, 0, 3, 3);
+  // scalpel: 1.0*0.6 + 1.0*0.5 = 1.1; fruit: 1.0*(-0.4) = -0.4.
+  EXPECT_NEAR(ct.class_affinity[1], 1.1f, 1e-5f);
+  EXPECT_NEAR(ct.class_affinity[2], -0.4f, 1e-5f);
+  EXPECT_FLOAT_EQ(ct.class_affinity[0], 0.0f);  // background untouched
+}
+
+TEST(CompileTask, NonTaskNodeThrows) {
+  const KnowledgeGraph g = make_small_graph();
+  EXPECT_THROW(compile_task(g, 1, 3, 3), std::invalid_argument);
+}
+
+TEST(Matcher, PerfectAttributesScoreAboveThreshold) {
+  const KnowledgeGraph g = make_small_graph();
+  MatcherOptions opt;
+  opt.alpha = 1.0f;  // attributes only
+  opt.threshold_scale = 1.0f;
+  const TaskMatcher m(compile_task(g, 0, 3, 3), opt);
+  Tensor attrs({3}, {1.0f, 1.0f, 0.0f});  // sharp + metallic
+  Tensor classes({3});
+  EXPECT_NEAR(m.score(attrs, classes), 1.1f, 1e-5f);
+  EXPECT_TRUE(m.relevant(attrs, classes));
+  Tensor organic({3}, {0.0f, 0.0f, 1.0f});
+  EXPECT_FALSE(m.relevant(organic, classes));
+}
+
+TEST(Matcher, ClassEvidenceBlending) {
+  const KnowledgeGraph g = make_small_graph();
+  MatcherOptions opt;
+  opt.alpha = 0.0f;  // class evidence only
+  opt.threshold_scale = 1.0f;
+  const TaskMatcher m(compile_task(g, 0, 3, 3), opt);
+  Tensor attrs({3});
+  Tensor scalpel_onehot({3}, {0.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(m.score(attrs, scalpel_onehot), 1.1f, 1e-5f);
+  EXPECT_TRUE(m.relevant(attrs, scalpel_onehot));
+}
+
+TEST(Matcher, ThresholdScaleRelaxes) {
+  const KnowledgeGraph g = make_small_graph();
+  MatcherOptions strict;
+  strict.alpha = 1.0f;
+  strict.threshold_scale = 1.0f;
+  MatcherOptions relaxed = strict;
+  relaxed.threshold_scale = 0.7f;
+  const CompiledTask ct = compile_task(g, 0, 3, 3);
+  Tensor soft({3}, {0.7f, 0.5f, 0.0f});  // score = 0.67 < 0.8
+  Tensor classes({3});
+  EXPECT_FALSE(TaskMatcher(ct, strict).relevant(soft, classes));
+  EXPECT_TRUE(TaskMatcher(ct, relaxed).relevant(soft, classes));
+}
+
+TEST(Matcher, ConfidenceMonotonicInScore) {
+  const KnowledgeGraph g = make_small_graph();
+  const TaskMatcher m(compile_task(g, 0, 3, 3), {});
+  Tensor classes({3});
+  float prev = -1.0f;
+  for (float level : {0.0f, 0.3f, 0.6f, 0.9f, 1.0f}) {
+    Tensor attrs({3}, {level, level, 0.0f});
+    const float c = m.confidence(attrs, classes);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0f);
+    EXPECT_LE(c, 1.0f);
+    prev = c;
+  }
+}
+
+TEST(Matcher, SizeMismatchThrows) {
+  const KnowledgeGraph g = make_small_graph();
+  const TaskMatcher m(compile_task(g, 0, 3, 3), {});
+  EXPECT_THROW(m.score(Tensor({2}), Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(m.score(Tensor({3}), Tensor({5})), std::invalid_argument);
+}
+
+TEST(Matcher, InvalidAlphaThrows) {
+  const KnowledgeGraph g = make_small_graph();
+  MatcherOptions opt;
+  opt.alpha = 1.5f;
+  EXPECT_THROW(TaskMatcher(compile_task(g, 0, 3, 3), opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itask::kg

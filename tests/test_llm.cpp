@@ -1,0 +1,147 @@
+// Simulated-LLM oracle tests: tokenization, faithful reconstruction of every
+// library task at zero noise, determinism, and the noise model's knobs.
+#include <gtest/gtest.h>
+
+#include "data/tasks.h"
+#include "kg/matcher.h"
+#include "kg/serialize.h"
+#include "llm/oracle.h"
+
+namespace itask::llm {
+namespace {
+
+TEST(Oracle, Tokenize) {
+  const auto tokens = Oracle::tokenize("Find SHARP, metallic tools!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "find");
+  EXPECT_EQ(tokens[1], "sharp");
+  EXPECT_EQ(tokens[2], "metallic");
+  EXPECT_EQ(tokens[3], "tools");
+  EXPECT_TRUE(Oracle::tokenize("").empty());
+  EXPECT_TRUE(Oracle::tokenize("123 456").empty());
+}
+
+TEST(Oracle, GraphContainsFullOntology) {
+  Oracle oracle;
+  const auto g = oracle.generate("detect anything");
+  // 1 task + 16 attributes + 13 classes.
+  EXPECT_EQ(g.node_count(), 1 + data::kNumAttributes + data::kNumClasses);
+  EXPECT_NE(g.find("task", kg::NodeType::kTask), kg::kInvalidNode);
+  EXPECT_NE(g.find("scalpel", kg::NodeType::kObjectClass), kg::kInvalidNode);
+  EXPECT_NE(g.find("hazardous", kg::NodeType::kAttribute), kg::kInvalidNode);
+}
+
+class OracleReconstruction : public ::testing::TestWithParam<int> {};
+
+// At zero noise, compiling the oracle's graph must reproduce the ground-truth
+// task weights: the lexicon covers the whole task library.
+TEST_P(OracleReconstruction, NoiselessGraphMatchesTaskSpec) {
+  const data::TaskSpec& spec = data::task_by_id(GetParam());
+  Oracle oracle;  // defaults: zero noise
+  const auto g = oracle.generate(spec.description);
+  const auto ct = kg::compile_task(g, g.find("task", kg::NodeType::kTask),
+                                   data::kNumAttributes, data::kNumClasses);
+  for (int64_t a = 0; a < data::kNumAttributes; ++a) {
+    EXPECT_NEAR(ct.positive[a], spec.positive[a], 1e-5f)
+        << "attr " << data::attribute_name(static_cast<data::Attribute>(a));
+    EXPECT_NEAR(ct.negative[a], spec.negative[a], 1e-5f)
+        << "attr " << data::attribute_name(static_cast<data::Attribute>(a));
+  }
+  EXPECT_NEAR(ct.threshold, spec.threshold, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, OracleReconstruction,
+                         ::testing::Range(0, 8));
+
+TEST(Oracle, DeterministicGivenTextAndSeed) {
+  OracleOptions opt;
+  opt.weight_noise = 0.2f;
+  opt.drop_probability = 0.1f;
+  Oracle a(opt), b(opt);
+  const std::string text = data::task_by_id(0).description;
+  EXPECT_EQ(kg::serialize(a.generate(text)), kg::serialize(b.generate(text)));
+}
+
+TEST(Oracle, DifferentTextsDecorrelate) {
+  OracleOptions opt;
+  opt.weight_noise = 0.2f;
+  Oracle oracle(opt);
+  const auto g0 = oracle.generate(data::task_by_id(0).description);
+  const auto g1 = oracle.generate(data::task_by_id(1).description);
+  EXPECT_NE(kg::serialize(g0), kg::serialize(g1));
+}
+
+TEST(Oracle, NoiseGrowsWeightDeviation) {
+  const data::TaskSpec& spec = data::task_by_id(1);
+  auto deviation = [&](float noise) {
+    OracleOptions opt;
+    opt.weight_noise = noise;
+    Oracle oracle(opt);
+    double total = 0.0;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      OracleOptions o2 = opt;
+      o2.seed = seed;
+      Oracle noisy(o2);
+      const auto g = noisy.generate(spec.description);
+      const auto ct = kg::compile_task(g, 0, data::kNumAttributes,
+                                       data::kNumClasses);
+      for (int64_t a = 0; a < data::kNumAttributes; ++a)
+        total += std::abs(ct.positive[a] - spec.positive[a]);
+    }
+    return total;
+  };
+  const double low = deviation(0.05f);
+  const double high = deviation(0.5f);
+  EXPECT_GT(high, low);
+}
+
+TEST(Oracle, DropProbabilityRemovesEdges) {
+  OracleOptions keep_all;
+  OracleOptions drop_half;
+  drop_half.drop_probability = 0.5f;
+  const std::string text = data::task_by_id(4).description;
+  const auto g_full = Oracle(keep_all).generate(text);
+  const auto g_dropped = Oracle(drop_half).generate(text);
+  EXPECT_LT(g_dropped.edge_count(), g_full.edge_count());
+}
+
+TEST(Oracle, SpuriousEdgesAddNoiseRequirements) {
+  OracleOptions opt;
+  opt.spurious_probability = 0.8f;
+  const std::string text = data::task_by_id(2).description;  // fragile only
+  const auto g = Oracle(opt).generate(text);
+  const auto base = Oracle().generate(text);
+  EXPECT_GT(g.edges_from(0, kg::Relation::kRequires).size(),
+            base.edges_from(0, kg::Relation::kRequires).size());
+}
+
+TEST(Oracle, InvalidOptionsThrow) {
+  OracleOptions bad;
+  bad.drop_probability = 1.0f;
+  EXPECT_THROW(Oracle{bad}, std::invalid_argument);
+  OracleOptions bad2;
+  bad2.weight_noise = -0.1f;
+  EXPECT_THROW(Oracle{bad2}, std::invalid_argument);
+}
+
+TEST(Oracle, OntologyEdgesMatchPrototypes) {
+  Oracle oracle;
+  const auto g = oracle.generate("anything");
+  const kg::NodeId scalpel = g.find("scalpel", kg::NodeType::kObjectClass);
+  const auto edges = g.edges_from(scalpel, kg::Relation::kHasAttribute);
+  const Tensor proto =
+      data::class_attribute_prototype(data::ObjectClass::kScalpel);
+  int64_t expected = 0;
+  for (int64_t a = 0; a < data::kNumAttributes; ++a)
+    if (proto[a] > 0.0f) ++expected;
+  EXPECT_EQ(static_cast<int64_t>(edges.size()), expected);
+  for (const auto& e : edges) {
+    const auto idx = g.property(e.dst, "index");
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_FLOAT_EQ(e.weight,
+                    proto[static_cast<int64_t>(*idx + 0.5f)]);
+  }
+}
+
+}  // namespace
+}  // namespace itask::llm

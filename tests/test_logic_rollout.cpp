@@ -1,0 +1,159 @@
+// Tests for the composite-mission soft logic and attention rollout.
+#include <gtest/gtest.h>
+
+#include "kg/logic.h"
+#include "tensor/rng.h"
+#include "vit/model.h"
+
+namespace itask {
+namespace {
+
+using kg::TaskExpr;
+
+Tensor probs(std::initializer_list<float> values) {
+  return Tensor({static_cast<int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+TEST(TaskExpr, LeafEvaluatesProbability) {
+  const TaskExpr e = TaskExpr::attribute(1);
+  EXPECT_FLOAT_EQ(e.evaluate(probs({0.2f, 0.9f, 0.5f})), 0.9f);
+  EXPECT_THROW(e.evaluate(probs({0.2f})), std::invalid_argument);
+}
+
+TEST(TaskExpr, CrispBooleanSemantics) {
+  // sharp AND (metallic OR bright) with crisp inputs.
+  const TaskExpr e = TaskExpr::conjunction(
+      {TaskExpr::attribute(0),
+       TaskExpr::disjunction(
+           {TaskExpr::attribute(1), TaskExpr::attribute(2)})});
+  EXPECT_FLOAT_EQ(e.evaluate(probs({1, 1, 0})), 1.0f);
+  EXPECT_FLOAT_EQ(e.evaluate(probs({1, 0, 1})), 1.0f);
+  EXPECT_FLOAT_EQ(e.evaluate(probs({1, 0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ(e.evaluate(probs({0, 1, 1})), 0.0f);
+}
+
+TEST(TaskExpr, NotInverts) {
+  const TaskExpr e = TaskExpr::negation(TaskExpr::attribute(0));
+  EXPECT_FLOAT_EQ(e.evaluate(probs({0.3f})), 0.7f);
+}
+
+TEST(TaskExpr, SoftValuesAreMonotone) {
+  const TaskExpr e = TaskExpr::conjunction(
+      {TaskExpr::attribute(0), TaskExpr::attribute(1)});
+  float prev = -1.0f;
+  for (float p : {0.0f, 0.25f, 0.5f, 0.75f, 1.0f}) {
+    const float v = e.evaluate(probs({p, 0.8f}));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(TaskExpr, DeMorganHoldsForProductLogic) {
+  // NOT(a AND b) == (NOT a) OR (NOT b) under product/probabilistic-sum.
+  Rng rng(4);
+  const TaskExpr lhs = TaskExpr::negation(TaskExpr::conjunction(
+      {TaskExpr::attribute(0), TaskExpr::attribute(1)}));
+  const TaskExpr rhs = TaskExpr::disjunction(
+      {TaskExpr::negation(TaskExpr::attribute(0)),
+       TaskExpr::negation(TaskExpr::attribute(1))});
+  for (int i = 0; i < 50; ++i) {
+    const Tensor p = rng.rand({2});
+    EXPECT_NEAR(lhs.evaluate(p), rhs.evaluate(p), 1e-5f);
+  }
+}
+
+TEST(TaskExpr, SerializeParseRoundTrip) {
+  const TaskExpr e = TaskExpr::conjunction(
+      {TaskExpr::attribute(1),
+       TaskExpr::disjunction(
+           {TaskExpr::attribute(0), TaskExpr::attribute(6)}),
+       TaskExpr::negation(TaskExpr::attribute(15))});
+  const std::string text = e.to_string();
+  EXPECT_EQ(text, "(and attr:1 (or attr:0 attr:6) (not attr:15))");
+  const TaskExpr back = TaskExpr::parse(text);
+  EXPECT_EQ(back.to_string(), text);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Tensor p = rng.rand({16});
+    EXPECT_NEAR(back.evaluate(p), e.evaluate(p), 1e-6f);
+  }
+}
+
+TEST(TaskExpr, ParseErrors) {
+  EXPECT_THROW(TaskExpr::parse(""), std::invalid_argument);
+  EXPECT_THROW(TaskExpr::parse("(and attr:1"), std::invalid_argument);
+  EXPECT_THROW(TaskExpr::parse("(xor attr:1 attr:2)"), std::invalid_argument);
+  EXPECT_THROW(TaskExpr::parse("(not attr:1 attr:2)"), std::invalid_argument);
+  EXPECT_THROW(TaskExpr::parse("foo"), std::invalid_argument);
+  EXPECT_THROW(TaskExpr::parse("attr:1 junk"), std::invalid_argument);
+}
+
+TEST(TaskExpr, MaxAttribute) {
+  const TaskExpr e = TaskExpr::parse("(or attr:3 (and attr:9 attr:2))");
+  EXPECT_EQ(e.max_attribute(), 9);
+}
+
+TEST(CompositeMatcher, ThresholdGates) {
+  kg::CompositeMatcher m{TaskExpr::conjunction({TaskExpr::attribute(0),
+                                                 TaskExpr::attribute(1)}),
+                         0.5f};
+  EXPECT_TRUE(m.relevant(probs({0.9f, 0.9f})));
+  EXPECT_FALSE(m.relevant(probs({0.9f, 0.4f})));
+}
+
+// ---- attention rollout -----------------------------------------------------
+
+TEST(AttentionRollout, RowsAreDistributions) {
+  vit::ViTConfig cfg;
+  cfg.dim = 16;
+  cfg.depth = 2;
+  cfg.heads = 2;
+  Rng rng(7);
+  vit::VitModel model(cfg, rng);
+  Tensor img = rng.rand({2, 3, 24, 24});
+  (void)model.forward(img);
+  const Tensor rollout = model.attention_rollout();
+  const int64_t t = cfg.tokens() + 1;
+  ASSERT_EQ(rollout.shape(), (Shape{2, t, t}));
+  for (int64_t b = 0; b < 2; ++b)
+    for (int64_t i = 0; i < t; ++i) {
+      float row_sum = 0.0f;
+      for (int64_t j = 0; j < t; ++j) {
+        const float v = rollout.at({b, i, j});
+        EXPECT_GE(v, 0.0f);
+        row_sum += v;
+      }
+      EXPECT_NEAR(row_sum, 1.0f, 1e-4f);
+    }
+}
+
+TEST(AttentionRollout, BeforeForwardThrows) {
+  vit::ViTConfig cfg;
+  cfg.dim = 16;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  Rng rng(8);
+  vit::VitModel model(cfg, rng);
+  EXPECT_THROW(model.attention_rollout(), std::invalid_argument);
+}
+
+TEST(AttentionRollout, SelfContributionSurvivesResidual) {
+  // With 0.5·A + 0.5·I mixing, a token always retains some attribution to
+  // itself: diagonal ≥ 0.5^depth.
+  vit::ViTConfig cfg;
+  cfg.dim = 16;
+  cfg.depth = 3;
+  cfg.heads = 2;
+  Rng rng(9);
+  vit::VitModel model(cfg, rng);
+  Tensor img = rng.rand({1, 3, 24, 24});
+  (void)model.forward(img);
+  const Tensor rollout = model.attention_rollout();
+  const int64_t t = cfg.tokens() + 1;
+  for (int64_t i = 0; i < t; ++i)
+    EXPECT_GE(rollout.at({0, i, i}), 0.125f - 1e-5f);
+}
+
+}  // namespace
+}  // namespace itask

@@ -1,0 +1,186 @@
+// Loss function tests: hand-computed values, gradient structure, numerical
+// gradient verification, and distillation-loss properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace itask::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogits) {
+  Tensor logits({2, 4});  // all zeros → uniform
+  const auto res = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(res.value, std::log(4.0f), 1e-5f);
+  // Gradient rows sum to zero (softmax minus one-hot, scaled).
+  for (int64_t r = 0; r < 2; ++r) {
+    float row_sum = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) row_sum += res.grad.at({r, c});
+    EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, ConfidentCorrectHasLowLoss) {
+  Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  const auto res = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(res.value, 1e-3f);
+}
+
+TEST(CrossEntropy, IgnoreIndexSkipsRows) {
+  Tensor logits({2, 3}, {5, 0, 0, 0, 5, 0});
+  const auto res = softmax_cross_entropy(logits, {0, -1}, -1);
+  // Only row 0 counts; it is confidently correct.
+  EXPECT_LT(res.value, 0.02f);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(res.grad.at({1, c}), 0.0f);
+}
+
+TEST(CrossEntropy, NumericalGradient) {
+  Rng rng(1);
+  Tensor logits = rng.randn({3, 5});
+  const std::vector<int64_t> labels{1, 4, 0};
+  const auto res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    Tensor lm = logits;
+    lm[i] -= eps;
+    const float numeric = (softmax_cross_entropy(lp, labels).value -
+                           softmax_cross_entropy(lm, labels).value) /
+                          (2.0f * eps);
+    EXPECT_NEAR(res.grad[i], numeric, 2e-3f);
+  }
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Bce, KnownValue) {
+  Tensor logits({1}, {0.0f});
+  Tensor targets({1}, {1.0f});
+  const auto res = bce_with_logits(logits, targets);
+  EXPECT_NEAR(res.value, std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(res.grad[0], -0.5f, 1e-5f);  // (p - t) / n = (0.5 - 1)
+}
+
+TEST(Bce, StableAtExtremeLogits) {
+  Tensor logits({2}, {100.0f, -100.0f});
+  Tensor targets({2}, {1.0f, 0.0f});
+  const auto res = bce_with_logits(logits, targets);
+  EXPECT_TRUE(std::isfinite(res.value));
+  EXPECT_NEAR(res.value, 0.0f, 1e-5f);
+  Tensor bad_targets({2}, {0.0f, 1.0f});
+  const auto res2 = bce_with_logits(logits, bad_targets);
+  EXPECT_TRUE(std::isfinite(res2.value));
+  EXPECT_NEAR(res2.value, 100.0f, 1e-3f);
+}
+
+TEST(Bce, WeightsMaskElements) {
+  Tensor logits({2}, {3.0f, -3.0f});
+  Tensor targets({2}, {0.0f, 0.0f});
+  Tensor weights({2}, {0.0f, 1.0f});
+  const auto res = bce_with_logits(logits, targets, &weights);
+  EXPECT_EQ(res.grad[0], 0.0f);  // masked out
+  EXPECT_NE(res.grad[1], 0.0f);
+}
+
+TEST(Bce, NumericalGradient) {
+  Rng rng(2);
+  Tensor logits = rng.randn({6});
+  Tensor targets = rng.rand({6});
+  const auto res = bce_with_logits(logits, targets);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 6; ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    Tensor lm = logits;
+    lm[i] -= eps;
+    const float numeric = (bce_with_logits(lp, targets).value -
+                           bce_with_logits(lm, targets).value) /
+                          (2.0f * eps);
+    EXPECT_NEAR(res.grad[i], numeric, 2e-3f);
+  }
+}
+
+TEST(Mse, ValueAndGrad) {
+  Tensor pred({2}, {1.0f, 3.0f});
+  Tensor target({2}, {0.0f, 1.0f});
+  const auto res = mse(pred, target);
+  EXPECT_NEAR(res.value, (1.0f + 4.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(res.grad[0], 2.0f * 1.0f / 2.0f, 1e-5f);
+  EXPECT_NEAR(res.grad[1], 2.0f * 2.0f / 2.0f, 1e-5f);
+}
+
+TEST(KdKl, ZeroWhenIdentical) {
+  Rng rng(3);
+  Tensor logits = rng.randn({4, 6});
+  const auto res = kd_kl(logits, logits, 2.0f);
+  EXPECT_NEAR(res.value, 0.0f, 1e-5f);
+  for (float g : res.grad.data()) EXPECT_NEAR(g, 0.0f, 1e-5f);
+}
+
+TEST(KdKl, PositiveWhenDifferent) {
+  Rng rng(4);
+  Tensor s = rng.randn({3, 5});
+  Tensor t = rng.randn({3, 5});
+  EXPECT_GT(kd_kl(s, t, 2.0f).value, 0.0f);
+}
+
+TEST(KdKl, NumericalGradient) {
+  Rng rng(5);
+  Tensor s = rng.randn({2, 4});
+  const Tensor t = rng.randn({2, 4});
+  const float temp = 3.0f;
+  const auto res = kd_kl(s, t, temp);
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    Tensor sp = s;
+    sp[i] += eps;
+    Tensor sm = s;
+    sm[i] -= eps;
+    const float numeric =
+        (kd_kl(sp, t, temp).value - kd_kl(sm, t, temp).value) / (2.0f * eps);
+    EXPECT_NEAR(res.grad[i], numeric, 3e-3f);
+  }
+}
+
+TEST(KdKl, GradientPushesTowardTeacher) {
+  // Student uniform, teacher prefers class 0 → gradient on class 0 logit
+  // must be negative (increase it).
+  Tensor s({1, 3});
+  Tensor t({1, 3}, {5.0f, 0.0f, 0.0f});
+  const auto res = kd_kl(s, t, 1.0f);
+  EXPECT_LT(res.grad.at({0, 0}), 0.0f);
+  EXPECT_GT(res.grad.at({0, 1}), 0.0f);
+}
+
+TEST(KdKl, InvalidTemperatureThrows) {
+  Tensor s({1, 2});
+  EXPECT_THROW(kd_kl(s, s, 0.0f), std::invalid_argument);
+  EXPECT_THROW(kd_kl(s, s, -1.0f), std::invalid_argument);
+}
+
+class KdTemperature : public ::testing::TestWithParam<float> {};
+
+TEST_P(KdTemperature, LossFiniteAndGradConsistent) {
+  const float temp = GetParam();
+  Rng rng(6);
+  Tensor s = rng.randn({2, 5});
+  Tensor t = rng.randn({2, 5});
+  const auto res = kd_kl(s, t, temp);
+  EXPECT_TRUE(std::isfinite(res.value));
+  EXPECT_GE(res.value, -1e-6f);  // KL is non-negative
+  for (float g : res.grad.data()) EXPECT_TRUE(std::isfinite(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, KdTemperature,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 4.0f, 8.0f));
+
+}  // namespace
+}  // namespace itask::nn

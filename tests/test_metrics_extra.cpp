@@ -1,0 +1,135 @@
+// Tests for the PR-curve export and per-class evaluation, plus consistency
+// between the curve and the scalar AP.
+#include <gtest/gtest.h>
+
+#include "detect/metrics.h"
+#include "tensor/rng.h"
+
+namespace itask::detect {
+namespace {
+
+BoxPx box(float cx, float cy, float w, float h) { return BoxPx{cx, cy, w, h}; }
+
+Detection det(BoxPx b, float conf, int64_t cls = 0) {
+  Detection d;
+  d.box = b;
+  d.confidence = conf;
+  d.predicted_class = cls;
+  return d;
+}
+
+GroundTruthObject gt(BoxPx b, bool relevant, int64_t cls = 0) {
+  GroundTruthObject g;
+  g.box = b;
+  g.task_relevant = relevant;
+  g.cls = cls;
+  return g;
+}
+
+TEST(PrCurve, MonotoneRecallAndConfidenceOrdering) {
+  Rng rng(1);
+  std::vector<std::vector<Detection>> dets(4);
+  std::vector<std::vector<GroundTruthObject>> truth(4);
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      const BoxPx b = box(rng.uniform(4, 20), rng.uniform(4, 20), 4, 4);
+      truth[s].push_back(gt(b, rng.bernoulli(0.7)));
+      // Detections: some on-target, some random.
+      if (rng.bernoulli(0.6)) dets[s].push_back(det(b, rng.uniform(0, 1)));
+      if (rng.bernoulli(0.4))
+        dets[s].push_back(
+            det(box(rng.uniform(4, 20), rng.uniform(4, 20), 4, 4),
+                rng.uniform(0, 1)));
+    }
+  }
+  const auto curve = pr_curve(dets, truth);
+  ASSERT_FALSE(curve.empty());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].confidence, curve[i - 1].confidence);
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_GE(curve[i].precision, 0.0f);
+    EXPECT_LE(curve[i].precision, 1.0f);
+  }
+}
+
+TEST(PrCurve, EnvelopeIntegralEqualsAp) {
+  // Build a mixed scenario and check AP equals the integral of the
+  // monotone-envelope of the exported curve.
+  std::vector<std::vector<Detection>> dets{{
+      det(box(5, 5, 4, 4), 0.95f),    // TP
+      det(box(50, 50, 4, 4), 0.9f),   // FP
+      det(box(15, 5, 4, 4), 0.6f),    // TP
+      det(box(60, 60, 4, 4), 0.3f),   // FP
+      det(box(25, 5, 4, 4), 0.2f),    // TP
+  }};
+  std::vector<std::vector<GroundTruthObject>> truth{{
+      gt(box(5, 5, 4, 4), true),
+      gt(box(15, 5, 4, 4), true),
+      gt(box(25, 5, 4, 4), true),
+  }};
+  const auto curve = pr_curve(dets, truth);
+  ASSERT_EQ(curve.size(), 5u);
+  std::vector<float> env(curve.size());
+  for (size_t i = 0; i < curve.size(); ++i) env[i] = curve[i].precision;
+  for (int64_t i = static_cast<int64_t>(env.size()) - 2; i >= 0; --i)
+    env[static_cast<size_t>(i)] =
+        std::max(env[static_cast<size_t>(i)], env[static_cast<size_t>(i + 1)]);
+  float ap = 0.0f, prev = 0.0f;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    ap += (curve[i].recall - prev) * env[i];
+    prev = curve[i].recall;
+  }
+  const EvalResult r = evaluate(dets, truth);
+  EXPECT_NEAR(ap, r.average_precision, 1e-5f);
+}
+
+TEST(PrCurve, SceneMismatchThrows) {
+  std::vector<std::vector<Detection>> dets(2);
+  std::vector<std::vector<GroundTruthObject>> truth(1);
+  EXPECT_THROW(pr_curve(dets, truth), std::invalid_argument);
+}
+
+TEST(PerClass, SplitsByClass) {
+  std::vector<std::vector<Detection>> dets{{
+      det(box(5, 5, 4, 4), 0.9f, /*cls=*/1),
+      det(box(15, 5, 4, 4), 0.8f, /*cls=*/2),  // wrong class for this box
+  }};
+  std::vector<std::vector<GroundTruthObject>> truth{{
+      gt(box(5, 5, 4, 4), true, 1),
+      gt(box(15, 5, 4, 4), true, 1),
+  }};
+  const auto per_class = evaluate_per_class(dets, truth);
+  ASSERT_TRUE(per_class.count(1));
+  ASSERT_TRUE(per_class.count(2));
+  // Class 1: one TP, one FN (the box claimed by the class-2 detection).
+  EXPECT_EQ(per_class.at(1).true_positives, 1);
+  EXPECT_EQ(per_class.at(1).false_negatives, 1);
+  // Class 2: the detection has no class-2 truth → FP.
+  EXPECT_EQ(per_class.at(2).true_positives, 0);
+  EXPECT_EQ(per_class.at(2).false_positives, 1);
+}
+
+TEST(PerClass, AggregateTpBoundsClassTp) {
+  Rng rng(3);
+  std::vector<std::vector<Detection>> dets(3);
+  std::vector<std::vector<GroundTruthObject>> truth(3);
+  for (int s = 0; s < 3; ++s)
+    for (int i = 0; i < 6; ++i) {
+      const BoxPx b = box(rng.uniform(4, 40), rng.uniform(4, 40), 4, 4);
+      const int64_t cls = rng.randint(1, 3);
+      truth[s].push_back(gt(b, true, cls));
+      if (rng.bernoulli(0.7))
+        dets[s].push_back(det(b, rng.uniform(0, 1),
+                              rng.bernoulli(0.8) ? cls : rng.randint(1, 3)));
+    }
+  const auto overall = evaluate(dets, truth);
+  const auto per_class = evaluate_per_class(dets, truth);
+  int64_t class_tp = 0;
+  for (const auto& [cls, r] : per_class) class_tp += r.true_positives;
+  // Class-aware matching can only remove matches available to the
+  // class-agnostic evaluation.
+  EXPECT_LE(class_tp, overall.true_positives);
+}
+
+}  // namespace
+}  // namespace itask::detect

@@ -1,0 +1,165 @@
+// Cross-cutting property sweeps: quantization across every
+// (granularity × bit-width) cell, randomized NMS/IoU invariants, oracle
+// noise determinism per task, and accelerator-model scaling laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "accel/systolic.h"
+#include "detect/nms.h"
+#include "data/tasks.h"
+#include "kg/serialize.h"
+#include "llm/oracle.h"
+#include "quant/qformat.h"
+#include "tensor/rng.h"
+
+namespace itask {
+namespace {
+
+// ---- quantization grid sweep ------------------------------------------------
+
+class QuantGrid
+    : public ::testing::TestWithParam<
+          std::tuple<quant::WeightGranularity, int>> {};
+
+TEST_P(QuantGrid, WeightRoundTripBoundedByRowScale) {
+  const auto [granularity, bits] = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 7);
+  const Tensor w = rng.randn({6, 24}, 0.0f, 0.8f);
+  const quant::QuantizedWeight qw =
+      quant::quantize_weight(w, granularity, bits);
+  for (int64_t r = 0; r < 6; ++r) {
+    const float scale = qw.scale_for_row(r);
+    for (int64_t c = 0; c < 24; ++c) {
+      const float back =
+          static_cast<float>(qw.data[static_cast<size_t>(r * 24 + c)]) *
+          scale;
+      EXPECT_LE(std::abs(w.at({r, c}) - back), 0.5f * scale + 1e-6f)
+          << "bits=" << bits;
+    }
+  }
+}
+
+TEST_P(QuantGrid, StoredValuesRespectBitGrid) {
+  const auto [granularity, bits] = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 13);
+  const Tensor w = rng.randn({4, 16});
+  const quant::QuantizedWeight qw =
+      quant::quantize_weight(w, granularity, bits);
+  const int32_t qmax = (1 << (bits - 1)) - 1;
+  for (int8_t v : qw.data) {
+    EXPECT_GE(static_cast<int32_t>(v), -qmax - 1);
+    EXPECT_LE(static_cast<int32_t>(v), qmax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, QuantGrid,
+    ::testing::Combine(
+        ::testing::Values(quant::WeightGranularity::kPerTensor,
+                          quant::WeightGranularity::kPerChannel),
+        ::testing::Values(2, 4, 6, 8)));
+
+// ---- randomized NMS invariants ----------------------------------------------
+
+class NmsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NmsProperty, OutputIsConflictFreeSubsetSortedByConfidence) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  std::vector<detect::Detection> dets;
+  const int64_t n = rng.randint(1, 40);
+  for (int64_t i = 0; i < n; ++i) {
+    detect::Detection d;
+    d.box = {rng.uniform(0, 24), rng.uniform(0, 24), rng.uniform(1, 10),
+             rng.uniform(1, 10)};
+    d.confidence = rng.uniform(0, 1);
+    d.cell = i;
+    dets.push_back(d);
+  }
+  const float threshold = rng.uniform(0.2f, 0.7f);
+  const auto kept = detect::nms(dets, threshold);
+  EXPECT_LE(kept.size(), dets.size());
+  // Sorted by confidence and pairwise conflict-free.
+  for (size_t i = 1; i < kept.size(); ++i)
+    EXPECT_LE(kept[i].confidence, kept[i - 1].confidence);
+  for (size_t i = 0; i < kept.size(); ++i)
+    for (size_t j = i + 1; j < kept.size(); ++j)
+      EXPECT_LE(detect::iou(kept[i].box, kept[j].box), threshold + 1e-6f);
+  // Every suppressed detection conflicts with some kept one of >= confidence.
+  for (const auto& d : dets) {
+    bool kept_or_conflicts = false;
+    for (const auto& k : kept) {
+      if (k.cell == d.cell ||
+          (k.confidence >= d.confidence &&
+           detect::iou(k.box, d.box) > threshold))
+        kept_or_conflicts = true;
+    }
+    EXPECT_TRUE(kept_or_conflicts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmsProperty, ::testing::Range(1, 9));
+
+// ---- oracle noise determinism per task --------------------------------------
+
+class OracleNoise : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleNoise, NoisyGraphsDeterministicAndParsable) {
+  const data::TaskSpec& spec = data::task_by_id(GetParam());
+  for (float noise : {0.1f, 0.3f}) {
+    llm::OracleOptions opt;
+    opt.weight_noise = noise;
+    opt.drop_probability = 0.15f;
+    const llm::Oracle a(opt), b(opt);
+    const std::string ga = kg::serialize(a.generate(spec.description));
+    const std::string gb = kg::serialize(b.generate(spec.description));
+    EXPECT_EQ(ga, gb) << spec.name << " noise=" << noise;
+    EXPECT_NO_THROW(kg::deserialize(ga));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, OracleNoise, ::testing::Range(0, 8));
+
+// ---- accelerator scaling laws ------------------------------------------------
+
+class FreqSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FreqSweep, LatencyFollowsAffineClockModel) {
+  // Latency decomposes as t(f) = cycles/f + dma, with dma clock-independent.
+  // Fit (cycles, dma) from two clocks and predict a third exactly.
+  const double mhz = static_cast<double>(GetParam());
+  const auto w = vit::build_workload(vit::ViTConfig::student(), 1);
+  auto at = [&](double f) {
+    accel::SystolicConfig cfg;
+    cfg.freq_mhz = f;
+    return accel::SystolicArray(cfg).run(w, 10.0).total_micros;
+  };
+  const double f1 = 200.0, f2 = 400.0;
+  const double t1 = at(f1), t2 = at(f2);
+  const double cycles_us_mhz = (t1 - t2) * f1 * f2 / (f2 - f1);
+  const double dma = t1 - cycles_us_mhz / f1;
+  EXPECT_GE(dma, 0.0);
+  EXPECT_NEAR(at(mhz), cycles_us_mhz / mhz + dma, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, FreqSweep,
+                         ::testing::Values(100, 225, 450, 900));
+
+TEST(EnergyScaling, DynamicEnergyLinearInMacEnergy) {
+  const auto w = vit::build_workload(vit::ViTConfig::student(), 1);
+  accel::SystolicConfig cheap;
+  cheap.energy.int8_mac_pj = 0.1;
+  accel::SystolicConfig costly = cheap;
+  costly.energy.int8_mac_pj = 0.2;
+  const double e1 =
+      accel::SystolicArray(cheap).run(w, 10.0).dynamic_energy_uj;
+  const double e2 =
+      accel::SystolicArray(costly).run(w, 10.0).dynamic_energy_uj;
+  const double mac_uj =
+      static_cast<double>(w.total_macs()) * 0.1 * 1e-6;  // pJ → µJ
+  EXPECT_NEAR(e2 - e1, mac_uj, mac_uj * 1e-6);
+}
+
+}  // namespace
+}  // namespace itask

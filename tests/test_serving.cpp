@@ -1,0 +1,107 @@
+// Serving-simulation tests: switch accounting, strategy asymmetry, and
+// statistics invariants.
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+
+namespace itask::core {
+namespace {
+
+ServingOptions small_options() {
+  ServingOptions o;
+  o.frames = 500;
+  o.num_tasks = 4;
+  o.task_switch_probability = 0.2;
+  o.seed = 5;
+  return o;
+}
+
+TEST(Serving, NoSwitchesWhenProbabilityZero) {
+  ServingOptions o = small_options();
+  o.task_switch_probability = 0.0;
+  const auto r =
+      simulate_serving(ServingStrategy::kTaskSpecificFleet, o);
+  EXPECT_EQ(r.switches, 0);
+  EXPECT_NEAR(r.mean_latency_us, r.inference_us, 1e-6);
+  EXPECT_NEAR(r.p99_latency_us, r.inference_us, 1e-6);
+}
+
+TEST(Serving, SingleTaskNeverSwitches) {
+  ServingOptions o = small_options();
+  o.num_tasks = 1;
+  o.task_switch_probability = 1.0;
+  const auto r = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  EXPECT_EQ(r.switches, 0);
+}
+
+TEST(Serving, SwitchCountTracksProbability) {
+  ServingOptions o = small_options();
+  o.frames = 20000;
+  o.task_switch_probability = 0.25;
+  const auto r = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  const double rate =
+      static_cast<double>(r.switches) / static_cast<double>(r.frames);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Serving, FleetSwapCostsMoreThanGraphSwap) {
+  const ServingOptions o = small_options();
+  const auto fleet =
+      simulate_serving(ServingStrategy::kTaskSpecificFleet, o);
+  const auto single = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  EXPECT_GT(fleet.swap_us, single.swap_us);
+  EXPECT_GT(fleet.mean_latency_us, single.mean_latency_us);
+  EXPECT_GT(fleet.p99_latency_us, single.p99_latency_us);
+  // Same mission stream (same seed) → same number of switches.
+  EXPECT_EQ(fleet.switches, single.switches);
+}
+
+TEST(Serving, LatencyStatisticsAreConsistent) {
+  const ServingOptions o = small_options();
+  const auto r = simulate_serving(ServingStrategy::kTaskSpecificFleet, o);
+  EXPECT_LE(r.mean_latency_us, r.worst_latency_us);
+  EXPECT_LE(r.p99_latency_us, r.worst_latency_us);
+  EXPECT_GE(r.p99_latency_us, r.inference_us);
+  EXPECT_NEAR(r.worst_latency_us, r.inference_us + r.swap_us, 1e-9);
+  EXPECT_GT(r.effective_fps, 0.0);
+  EXPECT_GE(r.deadline_miss_rate, 0.0);
+  EXPECT_LE(r.deadline_miss_rate, 1.0);
+}
+
+TEST(Serving, MeanLatencyDecomposesExactly) {
+  const ServingOptions o = small_options();
+  const auto r = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  const double expected =
+      r.inference_us + r.swap_us * static_cast<double>(r.switches) /
+                           static_cast<double>(r.frames);
+  EXPECT_NEAR(r.mean_latency_us, expected, 1e-6);
+}
+
+TEST(Serving, DeterministicGivenSeed) {
+  const ServingOptions o = small_options();
+  const auto a = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  const auto b = simulate_serving(ServingStrategy::kQuantizedSingle, o);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+}
+
+TEST(Serving, InvalidOptionsThrow) {
+  ServingOptions o = small_options();
+  o.num_tasks = 0;
+  EXPECT_THROW(simulate_serving(ServingStrategy::kQuantizedSingle, o),
+               std::invalid_argument);
+  ServingOptions o2 = small_options();
+  o2.frames = 0;
+  EXPECT_THROW(simulate_serving(ServingStrategy::kQuantizedSingle, o2),
+               std::invalid_argument);
+}
+
+TEST(Serving, StrategyNames) {
+  EXPECT_STREQ(serving_strategy_name(ServingStrategy::kTaskSpecificFleet),
+               "task_specific_fleet");
+  EXPECT_STREQ(serving_strategy_name(ServingStrategy::kQuantizedSingle),
+               "quantized_single");
+}
+
+}  // namespace
+}  // namespace itask::core

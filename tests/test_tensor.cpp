@@ -1,0 +1,138 @@
+// Unit tests for the Tensor class: construction, indexing, reshaping,
+// sub-tensor access, and precondition checking.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace itask {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ExplicitValues) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(Tensor, ValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t = Tensor::from_values({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.ndim(), 1);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, FromRows) {
+  Tensor t = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}});
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+}
+
+TEST(Tensor, FromRowsRaggedThrows) {
+  EXPECT_THROW(Tensor::from_rows({{1.0f, 2.0f}, {3.0f}}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t({2, 3, 4});
+  t.at({1, 2, 3}) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, IndexRankMismatchThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({1}), std::invalid_argument);
+  EXPECT_THROW(t.at({1, 2, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, OutOfRangeThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), std::invalid_argument);
+  EXPECT_THROW(t.at({0, 3}), std::invalid_argument);
+  EXPECT_THROW(t[6], std::invalid_argument);
+  EXPECT_THROW(t[-1], std::invalid_argument);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RowAndIndex) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r1 = t.row(1);
+  EXPECT_EQ(r1.shape(), (Shape{3}));
+  EXPECT_EQ(r1[0], 3.0f);
+  Tensor t3({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor sub = t3.index(1);
+  EXPECT_EQ(sub.shape(), (Shape{2, 2}));
+  EXPECT_EQ(sub.at({1, 1}), 7.0f);
+}
+
+TEST(Tensor, SetIndex) {
+  Tensor t({3, 2});
+  t.set_index(1, Tensor({2}, {9.0f, 8.0f}));
+  EXPECT_EQ(t.at({1, 0}), 9.0f);
+  EXPECT_EQ(t.at({1, 1}), 8.0f);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_THROW(t.set_index(0, Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(t.set_index(3, Tensor({2})), std::invalid_argument);
+}
+
+TEST(Tensor, Fill) {
+  Tensor t({2, 2});
+  t.fill(3.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.0f);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-6f, 2.0f - 1e-6f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor({2}, {1.1f, 2.0f})));
+  EXPECT_FALSE(a.allclose(Tensor({3})));
+}
+
+TEST(Tensor, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t({20}, 1.0f);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Tensor[20]"), std::string::npos);
+  EXPECT_NE(s.find("…"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itask

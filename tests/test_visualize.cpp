@@ -1,0 +1,121 @@
+// Visualisation tests: ASCII rendering and PPM export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/generator.h"
+#include "detect/ascii.h"
+#include "detect/ppm.h"
+
+namespace itask::detect {
+namespace {
+
+data::Scene sample_scene(uint64_t seed) {
+  data::GeneratorOptions opt;
+  opt.min_objects = 2;
+  opt.max_objects = 3;
+  data::SceneGenerator gen(opt);
+  Rng rng(seed);
+  return gen.generate(rng);
+}
+
+Detection box_detection(float cx, float cy, float w, float h, float conf) {
+  Detection d;
+  d.box = {cx, cy, w, h};
+  d.confidence = conf;
+  d.objectness = conf;
+  return d;
+}
+
+TEST(Ascii, RendersFrameAndGroundTruth) {
+  const data::Scene scene = sample_scene(1);
+  const std::string out = render_ascii(scene, {});
+  // Frame: 24 content rows + 2 border rows, each 26 wide.
+  int64_t rows = 0;
+  for (char c : out)
+    if (c == '\n') ++rows;
+  EXPECT_GE(rows, 26);
+  EXPECT_NE(out.find("ground truth:"), std::string::npos);
+  for (const auto& o : scene.objects)
+    EXPECT_NE(out.find(data::class_name(o.cls)), std::string::npos);
+}
+
+TEST(Ascii, DetectionBoxesOverlayAsHashes) {
+  const data::Scene scene = sample_scene(2);
+  const auto with_box =
+      render_ascii(scene, {box_detection(12, 12, 8, 8, 0.9f)});
+  const auto without = render_ascii(scene, {});
+  EXPECT_EQ(without.find('#'), std::string::npos);
+  EXPECT_NE(with_box.find('#'), std::string::npos);
+}
+
+TEST(Ascii, OutOfBoundsBoxesAreClamped) {
+  const data::Scene scene = sample_scene(3);
+  // Must not crash or write outside the frame.
+  EXPECT_NO_THROW(render_ascii(scene, {box_detection(-5, 40, 60, 60, 0.5f)}));
+}
+
+TEST(Ascii, DescribeMentionsClassAndConfidence) {
+  Detection d = box_detection(4, 4, 4, 4, 0.75f);
+  d.cell = 3;
+  d.predicted_class = data::class_index(data::ObjectClass::kScalpel);
+  const std::string text = describe(d);
+  EXPECT_NE(text.find("cell 3"), std::string::npos);
+  EXPECT_NE(text.find("scalpel"), std::string::npos);
+}
+
+TEST(Ppm, WritesValidHeaderAndSize) {
+  const data::Scene scene = sample_scene(4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "itask_test.ppm").string();
+  save_ppm(scene.image, path, 4);
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  std::string magic;
+  int64_t w = 0, h = 0, maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 96);   // 24 × 4
+  EXPECT_EQ(h, 96);
+  EXPECT_EQ(maxv, 255);
+  is.get();  // single whitespace after header
+  std::vector<char> payload(static_cast<size_t>(3 * w * h));
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_EQ(is.gcount(), static_cast<std::streamsize>(payload.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, DetectionOverlayAddsRedPixels) {
+  const data::Scene scene = sample_scene(5);
+  const std::string plain =
+      (std::filesystem::temp_directory_path() / "itask_plain.ppm").string();
+  const std::string boxed =
+      (std::filesystem::temp_directory_path() / "itask_boxed.ppm").string();
+  save_ppm(scene.image, plain, 2);
+  save_ppm_with_detections(scene.image,
+                           {box_detection(12, 12, 10, 10, 0.9f)}, boxed, 2);
+  std::ifstream a(plain, std::ios::binary), b(boxed, std::ios::binary);
+  const std::string pa((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+  const std::string pb((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(pa.size(), pb.size());
+  EXPECT_NE(pa, pb);
+  std::remove(plain.c_str());
+  std::remove(boxed.c_str());
+}
+
+TEST(Ppm, InvalidInputsThrow) {
+  Tensor bad({1, 4, 4});
+  EXPECT_THROW(save_ppm(bad, "/tmp/itask_bad.ppm"), std::invalid_argument);
+  const data::Scene scene = sample_scene(6);
+  EXPECT_THROW(save_ppm(scene.image, "/nonexistent_dir/x.ppm"),
+               std::runtime_error);
+  EXPECT_THROW(save_ppm(scene.image, "/tmp/itask_bad.ppm", 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itask::detect
