@@ -1,0 +1,138 @@
+// F6 — batched inference runtime: throughput and latency of the
+// multi-threaded serving engine (src/runtime) over the deployed quantized
+// configuration, swept across worker count × micro-batch size, plus the
+// batching-delay/latency trade-off (p99 vs max_wait).
+//
+// NOTE: F6 is the one experiment that deliberately uses multiple cores —
+// worker scaling is the subject. Everything else in the sweep stays on the
+// single-core budget.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "runtime/server.h"
+
+namespace itask {
+namespace {
+
+struct LoadResult {
+  double seconds = 0.0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  runtime::Histogram::Snapshot total_us;
+};
+
+/// Drives `requests` submissions from `producers` threads, retrying on
+/// backpressure so every request eventually lands, and waits for all results.
+LoadResult drive_load(const core::Framework& fw, const core::TaskHandle& task,
+                      runtime::RuntimeOptions opts, int64_t requests,
+                      int64_t producers, const data::Dataset& scenes) {
+  runtime::InferenceServer server(fw, opts);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::future<runtime::InferenceResult>>> futures(
+      static_cast<size_t>(producers));
+  std::vector<std::thread> threads;
+  const int64_t per_producer = requests / producers;
+  for (int64_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int64_t i = 0; i < per_producer; ++i) {
+        const int64_t scene = (p * per_producer + i) % scenes.size();
+        while (true) {
+          auto f = server.try_submit(scenes.scene(scene).image, task,
+                                     core::ConfigKind::kQuantizedMultiTask);
+          if (f.has_value()) {
+            futures[static_cast<size_t>(p)].push_back(std::move(*f));
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& per : futures) {
+    for (auto& f : per) f.get();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  server.shutdown();
+
+  LoadResult r;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.completed = server.metrics().counter("requests_completed").value();
+  r.rejected = server.metrics().counter("requests_rejected").value();
+  r.total_us = server.metrics().histogram("total_us").snapshot();
+  return r;
+}
+
+}  // namespace
+}  // namespace itask
+
+int main() {
+  using namespace itask;
+  const bool fast = std::getenv("ITASK_BENCH_FAST") != nullptr;
+  bench::print_header(
+      "F6", "inference runtime: throughput/latency vs workers × batch size");
+
+  core::Framework fw(bench::experiment_options(/*seed=*/42));
+  std::printf("[setup] training deployment (quantized configuration)...\n");
+  fw.pretrain_teacher();
+  const core::TaskHandle task = fw.define_task(data::task_by_id(1));
+  fw.prepare_quantized();
+  const data::Dataset scenes =
+      bench::make_eval_set(fw.options(), /*scenes=*/32, /*seed=*/2024);
+
+  const int64_t requests = fast ? 192 : 1024;
+  const int64_t producers = 4;
+  const std::vector<int64_t> worker_sweep =
+      fast ? std::vector<int64_t>{1, 2, 4} : std::vector<int64_t>{1, 2, 4, 8};
+  const std::vector<int64_t> batch_sweep =
+      fast ? std::vector<int64_t>{1, 8} : std::vector<int64_t>{1, 4, 8};
+
+  std::printf("\n%d requests, %d producer threads, quantized config, "
+              "max_wait 500 us, %u hardware threads\n\n",
+              static_cast<int>(requests), static_cast<int>(producers),
+              std::thread::hardware_concurrency());
+  std::printf("workers  max_batch  throughput(req/s)  p50(us)  p99(us)  rejected-retries\n");
+  for (const int64_t workers : worker_sweep) {
+    for (const int64_t max_batch : batch_sweep) {
+      runtime::RuntimeOptions opts;
+      opts.workers = workers;
+      opts.max_batch = max_batch;
+      opts.max_wait_us = 500;
+      opts.queue_capacity = 64;
+      const LoadResult r =
+          drive_load(fw, task, opts, requests, producers, scenes);
+      std::printf("%7d  %9d  %17.1f  %7.0f  %7.0f  %16d\n",
+                  static_cast<int>(workers), static_cast<int>(max_batch),
+                  static_cast<double>(r.completed) / r.seconds, r.total_us.p50,
+                  r.total_us.p99, static_cast<int>(r.rejected));
+    }
+  }
+
+  std::printf("\nbatching delay trade-off (workers 2, max_batch 8): p99 vs "
+              "max_wait\n\n");
+  std::printf("max_wait(us)  throughput(req/s)  p50(us)  p99(us)\n");
+  const std::vector<int64_t> wait_sweep =
+      fast ? std::vector<int64_t>{0, 5000} : std::vector<int64_t>{0, 1000, 5000, 20000};
+  for (const int64_t max_wait : wait_sweep) {
+    runtime::RuntimeOptions opts;
+    opts.workers = 2;
+    opts.max_batch = 8;
+    opts.max_wait_us = max_wait;
+    opts.queue_capacity = 64;
+    const LoadResult r = drive_load(fw, task, opts, requests, producers, scenes);
+    std::printf("%12d  %17.1f  %7.0f  %7.0f\n", static_cast<int>(max_wait),
+                static_cast<double>(r.completed) / r.seconds, r.total_us.p50,
+                r.total_us.p99);
+  }
+
+  bench::print_footer_note(
+      "shape: throughput rises from 1 worker to the core count, then "
+      "flattens; p99 grows with max_wait (requests idle while a batch stays "
+      "open). F6 is the multi-core exception to the single-core bench "
+      "budget — worker scaling is the subject.");
+  return 0;
+}

@@ -136,7 +136,8 @@ void Framework::prepare_quantized() {
 }
 
 std::vector<std::vector<detect::Detection>> Framework::decode_and_match(
-    const vit::VitOutput& output, const TaskHandle& task, bool use_rel_head) {
+    const vit::VitOutput& output, const TaskHandle& task,
+    bool use_rel_head) const {
   auto candidates = detect::decode(output, options_.decoder);
   const kg::TaskMatcher matcher(task.compiled, options_.matcher);
   std::vector<std::vector<detect::Detection>> result;
@@ -176,6 +177,21 @@ std::vector<std::vector<detect::Detection>> Framework::detect_batch(
     return decode_and_match(out, task, /*use_rel_head=*/true);
   }
   ITASK_CHECK(quantized_.has_value(), "detect_batch: prepare_quantized() first");
+  const vit::VitOutput out = quantized_->forward(images);
+  return decode_and_match(out, task, /*use_rel_head=*/false);
+}
+
+std::vector<std::vector<detect::Detection>> Framework::infer_batch(
+    const Tensor& images, const TaskHandle& task, ConfigKind config) const {
+  ITASK_CHECK(images.ndim() == 4, "infer_batch: need [B, C, H, W]");
+  if (config == ConfigKind::kTaskSpecific) {
+    const auto it = students_.find(task.slot);
+    ITASK_CHECK(it != students_.end(),
+                "infer_batch: prepare_task_specific() first");
+    const vit::VitOutput out = it->second->infer(images);
+    return decode_and_match(out, task, /*use_rel_head=*/true);
+  }
+  ITASK_CHECK(quantized_.has_value(), "infer_batch: prepare_quantized() first");
   const vit::VitOutput out = quantized_->forward(images);
   return decode_and_match(out, task, /*use_rel_head=*/false);
 }

@@ -100,6 +100,13 @@ class Framework {
   std::vector<std::vector<detect::Detection>> detect_batch(
       const Tensor& images, const TaskHandle& task, ConfigKind config);
 
+  /// Thread-safe batched detection over a *prepared* deployment: const,
+  /// cache-free, and numerically identical to detect_batch, so many runtime
+  /// workers may call it concurrently on one Framework. The deployment must
+  /// not be mutated (prepare_*/load_deployment) while calls are in flight.
+  std::vector<std::vector<detect::Detection>> infer_batch(
+      const Tensor& images, const TaskHandle& task, ConfigKind config) const;
+
   /// Single-image convenience overload ([C, H, W]).
   std::vector<detect::Detection> detect(const Tensor& image,
                                         const TaskHandle& task,
@@ -145,7 +152,8 @@ class Framework {
 
  private:
   std::vector<std::vector<detect::Detection>> decode_and_match(
-      const vit::VitOutput& output, const TaskHandle& task, bool use_rel_head);
+      const vit::VitOutput& output, const TaskHandle& task,
+      bool use_rel_head) const;
 
   FrameworkOptions options_;
   Rng rng_;

@@ -10,6 +10,8 @@ Tensor Gelu::forward(const Tensor& input) {
   return ops::gelu(input);
 }
 
+Tensor Gelu::infer(const Tensor& input) const { return ops::gelu(input); }
+
 Tensor Gelu::backward(const Tensor& grad_out) {
   ITASK_CHECK(!cached_input_.empty(), "Gelu: backward before forward");
   return ops::gelu_grad(cached_input_, grad_out);
@@ -19,6 +21,8 @@ Tensor Relu::forward(const Tensor& input) {
   cached_input_ = input;
   return ops::relu(input);
 }
+
+Tensor Relu::infer(const Tensor& input) const { return ops::relu(input); }
 
 Tensor Relu::backward(const Tensor& grad_out) {
   ITASK_CHECK(!cached_input_.empty(), "Relu: backward before forward");

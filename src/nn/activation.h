@@ -8,6 +8,8 @@ namespace itask::nn {
 class Gelu : public Module {
  public:
   Tensor forward(const Tensor& input);
+  /// Cache-free forward for concurrent inference.
+  Tensor infer(const Tensor& input) const;
   Tensor backward(const Tensor& grad_out);
 
  private:
@@ -17,6 +19,8 @@ class Gelu : public Module {
 class Relu : public Module {
  public:
   Tensor forward(const Tensor& input);
+  /// Cache-free forward for concurrent inference.
+  Tensor infer(const Tensor& input) const;
   Tensor backward(const Tensor& grad_out);
 
  private:

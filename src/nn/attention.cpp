@@ -83,6 +83,30 @@ Tensor MultiHeadAttention::forward(const Tensor& tokens) {
   return proj_.forward(merge_heads(ctx, heads_));
 }
 
+Tensor MultiHeadAttention::infer(const Tensor& tokens) const {
+  ITASK_CHECK(tokens.ndim() == 3 && tokens.dim(2) == dim_,
+              "MultiHeadAttention: need [B, T, dim]");
+  const int64_t b = tokens.dim(0), t = tokens.dim(1);
+  Tensor qkv = qkv_.infer(tokens);  // [B, T, 3D]
+  Tensor q({b, t, dim_}), k({b, t, dim_}), v({b, t, dim_});
+  {
+    auto src = qkv.data();
+    auto qd = q.data(), kd = k.data(), vd = v.data();
+    for (int64_t r = 0; r < b * t; ++r) {
+      const float* row = src.data() + r * 3 * dim_;
+      std::copy(row, row + dim_, qd.data() + r * dim_);
+      std::copy(row + dim_, row + 2 * dim_, kd.data() + r * dim_);
+      std::copy(row + 2 * dim_, row + 3 * dim_, vd.data() + r * dim_);
+    }
+  }
+  const Tensor qh = split_heads(q, heads_);  // [B*H, T, hd]
+  const Tensor kh = split_heads(k, heads_);
+  const Tensor vh = split_heads(v, heads_);
+  Tensor scores = ops::mul_scalar(ops::bmm_bt(qh, kh), scale_);  // [B*H,T,T]
+  Tensor ctx = ops::bmm(ops::softmax_lastdim(scores), vh);  // [B*H, T, hd]
+  return proj_.infer(merge_heads(ctx, heads_));
+}
+
 Tensor MultiHeadAttention::backward(const Tensor& grad_out) {
   ITASK_CHECK(!cached_attn_.empty(),
               "MultiHeadAttention: backward before forward");

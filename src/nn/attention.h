@@ -19,6 +19,12 @@ class MultiHeadAttention : public Module {
   MultiHeadAttention(int64_t dim, int64_t heads, Rng& rng);
 
   Tensor forward(const Tensor& tokens);
+
+  /// Cache-free forward for concurrent inference: numerically identical to
+  /// forward() but does not populate the activation caches (so backward()
+  /// and last_attention() still refer to the last forward() call).
+  Tensor infer(const Tensor& tokens) const;
+
   Tensor backward(const Tensor& grad_out);
 
   int64_t dim() const { return dim_; }

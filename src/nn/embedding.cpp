@@ -104,6 +104,31 @@ Tensor PatchEmbed::forward(const Tensor& images) {
   return out;
 }
 
+Tensor PatchEmbed::infer(const Tensor& images) const {
+  ITASK_CHECK(images.ndim() == 4 && images.dim(1) == channels_ &&
+                  images.dim(2) == image_size_ && images.dim(3) == image_size_,
+              "PatchEmbed: unexpected image shape");
+  const int64_t b = images.dim(0);
+  Tensor patches = patchify(images, patch_size_);        // [B, T, pv]
+  Tensor projected = proj_.infer(patches);               // [B, T, D]
+  Tensor out({b, tokens_ + 1, dim_});
+  auto o = out.data();
+  auto pd = projected.data();
+  auto cls = cls_.value.data();
+  auto pos = pos_.value.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float* base = o.data() + bi * (tokens_ + 1) * dim_;
+    for (int64_t j = 0; j < dim_; ++j) base[j] = cls[j] + pos[j];
+    for (int64_t ti = 0; ti < tokens_; ++ti) {
+      const float* src = pd.data() + (bi * tokens_ + ti) * dim_;
+      float* dst = base + (ti + 1) * dim_;
+      const float* prow = pos.data() + (ti + 1) * dim_;
+      for (int64_t j = 0; j < dim_; ++j) dst[j] = src[j] + prow[j];
+    }
+  }
+  return out;
+}
+
 Tensor PatchEmbed::backward(const Tensor& grad_tokens) {
   ITASK_CHECK(cached_batch_ > 0, "PatchEmbed: backward before forward");
   const int64_t b = cached_batch_;

@@ -24,6 +24,9 @@ class PatchEmbed : public Module {
 
   Tensor forward(const Tensor& images);
 
+  /// Cache-free forward for concurrent inference.
+  Tensor infer(const Tensor& images) const;
+
   /// Accumulates parameter gradients. Returns the gradient w.r.t. the input
   /// images (rarely needed, but kept for completeness / gradcheck).
   Tensor backward(const Tensor& grad_tokens);

@@ -52,6 +52,37 @@ Tensor LayerNorm::forward(const Tensor& input) {
   return out;
 }
 
+Tensor LayerNorm::infer(const Tensor& input) const {
+  ITASK_CHECK(input.ndim() >= 1 && input.dim(input.ndim() - 1) == features_,
+              "LayerNorm: trailing dim mismatch");
+  const int64_t c = features_;
+  const int64_t rows = input.numel() / c;
+  Tensor out = input;
+  auto in = input.data();
+  auto o = out.data();
+  auto g = gamma_.value.data();
+  auto b = beta_.value.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in.data() + r * c;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < c; ++j) mean += row[j];
+    mean /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(c);
+    const float r_std = 1.0f / std::sqrt(var + eps_);
+    float* orow = o.data() + r * c;
+    for (int64_t j = 0; j < c; ++j) {
+      const float xhat = (row[j] - mean) * r_std;
+      orow[j] = xhat * g[j] + b[j];
+    }
+  }
+  return out;
+}
+
 Tensor LayerNorm::backward(const Tensor& grad_out) {
   ITASK_CHECK(!cached_xhat_.empty(), "LayerNorm: backward before forward");
   const int64_t c = features_;

@@ -11,6 +11,11 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t features, float eps = 1e-5f);
 
   Tensor forward(const Tensor& input);
+
+  /// Cache-free forward for concurrent inference (numerically identical to
+  /// forward(); touches no mutable state).
+  Tensor infer(const Tensor& input) const;
+
   Tensor backward(const Tensor& grad_out);
 
   int64_t features() const { return features_; }

@@ -31,6 +31,19 @@ Tensor Linear::forward(const Tensor& input) {
   return y.reshape(std::move(out_shape));
 }
 
+Tensor Linear::infer(const Tensor& input) const {
+  ITASK_CHECK(input.ndim() >= 1, "Linear: input must be at least 1-D");
+  ITASK_CHECK(input.dim(input.ndim() - 1) == in_features_,
+              "Linear: trailing dim mismatch");
+  const int64_t rows = input.numel() / in_features_;
+  Tensor y = ops::matmul_bt(input.reshape({rows, in_features_}),
+                            weight_.value);  // [rows, out]
+  if (bias_ != nullptr) y = ops::add_rowwise(y, bias_->value);
+  Shape out_shape = input.shape();
+  out_shape.back() = out_features_;
+  return y.reshape(std::move(out_shape));
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
   ITASK_CHECK(!cached_input_2d_.empty(), "Linear: backward before forward");
   const int64_t rows = cached_input_2d_.dim(0);

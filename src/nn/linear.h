@@ -16,6 +16,10 @@ class Linear : public Module {
   /// Forward pass; caches the input when training for use by backward().
   Tensor forward(const Tensor& input);
 
+  /// Cache-free forward for concurrent inference: numerically identical to
+  /// forward(), touches no mutable state, safe to call from many threads.
+  Tensor infer(const Tensor& input) const;
+
   /// Accumulates dW/db and returns dL/dinput (same shape as the cached input).
   Tensor backward(const Tensor& grad_out);
 

@@ -18,6 +18,8 @@ class TransformerBlock : public Module {
   TransformerBlock(int64_t dim, int64_t heads, int64_t mlp_hidden, Rng& rng);
 
   Tensor forward(const Tensor& tokens);
+  /// Cache-free forward for concurrent inference.
+  Tensor infer(const Tensor& tokens) const;
   Tensor backward(const Tensor& grad_out);
 
   const MultiHeadAttention& attention() const { return attn_; }
@@ -38,6 +40,8 @@ class TransformerEncoder : public Module {
                      int64_t mlp_hidden, Rng& rng);
 
   Tensor forward(const Tensor& tokens);
+  /// Cache-free forward for concurrent inference.
+  Tensor infer(const Tensor& tokens) const;
   Tensor backward(const Tensor& grad_out);
 
   int64_t depth() const { return static_cast<int64_t>(blocks_.size()); }

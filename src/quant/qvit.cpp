@@ -131,20 +131,21 @@ QuantizedVit QuantizedVit::from_model(vit::VitModel& model,
   return QuantizedVit(model.config(), model.state_dict(), options);
 }
 
-template <typename Apply>
-vit::VitOutput QuantizedVit::run(const Tensor& images, Apply&& apply) {
+template <typename Self, typename Apply>
+vit::VitOutput QuantizedVit::run(Self& self, const Tensor& images,
+                                 Apply&& apply) {
   const int64_t b = images.dim(0);
-  const int64_t t = config_.tokens();
-  const int64_t d = config_.dim;
+  const int64_t t = self.config_.tokens();
+  const int64_t d = self.config_.dim;
   // Patch embedding.
-  Tensor patches = nn::patchify(images, config_.patch_size);
-  Tensor projected = apply(patch_proj_, patches);  // [B, T, D]
+  Tensor patches = nn::patchify(images, self.config_.patch_size);
+  Tensor projected = apply(self.patch_proj_, patches);  // [B, T, D]
   Tensor x({b, t + 1, d});
   {
     auto o = x.data();
     auto pd = projected.data();
-    auto cls = cls_.data();
-    auto pos = pos_.data();
+    auto cls = self.cls_.data();
+    auto pos = self.pos_.data();
     for (int64_t bi = 0; bi < b; ++bi) {
       float* base = o.data() + bi * (t + 1) * d;
       for (int64_t j = 0; j < d; ++j) base[j] = cls[j] + pos[j];
@@ -158,8 +159,8 @@ vit::VitOutput QuantizedVit::run(const Tensor& images, Apply&& apply) {
   }
   // Encoder blocks.
   const float scale =
-      1.0f / std::sqrt(static_cast<float>(d / config_.heads));
-  for (Block& blk : blocks_) {
+      1.0f / std::sqrt(static_cast<float>(d / self.config_.heads));
+  for (auto& blk : self.blocks_) {
     Tensor normed = layernorm(x, blk.ln1.gamma, blk.ln1.beta);
     Tensor qkv = apply(blk.qkv, normed);  // [B, T+1, 3D]
     const int64_t rows = b * (t + 1);
@@ -174,19 +175,19 @@ vit::VitOutput QuantizedVit::run(const Tensor& images, Apply&& apply) {
         std::copy(row + 2 * d, row + 3 * d, vd.data() + r * d);
       }
     }
-    Tensor qh = nn::split_heads(q, config_.heads);
-    Tensor kh = nn::split_heads(k, config_.heads);
-    Tensor vh = nn::split_heads(v, config_.heads);
+    Tensor qh = nn::split_heads(q, self.config_.heads);
+    Tensor kh = nn::split_heads(k, self.config_.heads);
+    Tensor vh = nn::split_heads(v, self.config_.heads);
     Tensor attn = ops::softmax_lastdim(
         ops::mul_scalar(ops::bmm_bt(qh, kh), scale));
-    Tensor ctx = nn::merge_heads(ops::bmm(attn, vh), config_.heads);
+    Tensor ctx = nn::merge_heads(ops::bmm(attn, vh), self.config_.heads);
     Tensor attn_out = apply(blk.proj, ctx);
     x = ops::add(x, attn_out);
     Tensor normed2 = layernorm(x, blk.ln2.gamma, blk.ln2.beta);
     Tensor mlp = apply(blk.fc2, ops::gelu(apply(blk.fc1, normed2)));
     x = ops::add(x, mlp);
   }
-  Tensor tokens = layernorm(x, final_ln_.gamma, final_ln_.beta);
+  Tensor tokens = layernorm(x, self.final_ln_.gamma, self.final_ln_.beta);
   // Patch tokens → heads.
   Tensor patch_feats({b, t, d});
   {
@@ -198,19 +199,19 @@ vit::VitOutput QuantizedVit::run(const Tensor& images, Apply&& apply) {
     }
   }
   vit::VitOutput out;
-  out.objectness = apply(obj_head_, patch_feats);
-  out.class_logits = apply(cls_head_, patch_feats);
-  out.attr_logits = apply(attr_head_, patch_feats);
+  out.objectness = apply(self.obj_head_, patch_feats);
+  out.class_logits = apply(self.cls_head_, patch_feats);
+  out.attr_logits = apply(self.attr_head_, patch_feats);
   out.box_deltas =
-      apply(box_fc2_, ops::gelu(apply(box_fc1_, patch_feats)));
-  out.relevance = apply(rel_head_, patch_feats);
+      apply(self.box_fc2_, ops::gelu(apply(self.box_fc1_, patch_feats)));
+  out.relevance = apply(self.rel_head_, patch_feats);
   out.features = std::move(tokens);
   return out;
 }
 
 void QuantizedVit::calibrate(const Tensor& images) {
   ITASK_CHECK(!finalized_, "QuantizedVit: calibrate after finalize");
-  (void)run(images, [](QLinearLayer& layer, const Tensor& x) {
+  (void)run(*this, images, [](QLinearLayer& layer, const Tensor& x) {
     return layer.forward_calibrating(x);
   });
 }
@@ -233,9 +234,9 @@ void QuantizedVit::finalize() {
   finalized_ = true;
 }
 
-vit::VitOutput QuantizedVit::forward(const Tensor& images) {
+vit::VitOutput QuantizedVit::forward(const Tensor& images) const {
   ITASK_CHECK(finalized_, "QuantizedVit: forward before finalize");
-  return run(images, [](QLinearLayer& layer, const Tensor& x) {
+  return run(*this, images, [](const QLinearLayer& layer, const Tensor& x) {
     return layer.forward(x);
   });
 }

@@ -72,10 +72,9 @@ class QuantizedVit {
   /// Freezes activation ranges and quantizes all weights.
   void finalize();
 
-  /// INT8 inference. Output mirrors VitModel::forward. (Non-const only
-  /// because it shares the calibration code path; it does not mutate
-  /// quantized state.)
-  vit::VitOutput forward(const Tensor& images);
+  /// INT8 inference. Output mirrors VitModel::forward. Const and cache-free
+  /// once finalized, so many threads may run it on one model concurrently.
+  vit::VitOutput forward(const Tensor& images) const;
 
   const vit::ViTConfig& config() const { return config_; }
   const QuantOptions& options() const { return options_; }
@@ -93,9 +92,11 @@ class QuantizedVit {
     QLinearLayer qkv, proj, fc1, fc2;
   };
 
-  /// Shared forward skeleton; `Linear` is invoked through `apply`.
-  template <typename Apply>
-  vit::VitOutput run(const Tensor& images, Apply&& apply);
+  /// Shared forward skeleton; `Linear` is invoked through `apply`. `Self` is
+  /// `QuantizedVit` (calibration observes activations) or `const
+  /// QuantizedVit` (finalized inference), deduced from the call site.
+  template <typename Self, typename Apply>
+  static vit::VitOutput run(Self& self, const Tensor& images, Apply&& apply);
 
   vit::ViTConfig config_;
   QuantOptions options_;

@@ -1,0 +1,101 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tensor/tensor.h"
+
+namespace itask::runtime {
+
+Histogram::Histogram(double min_value, double max_value, double growth)
+    : min_value_(min_value),
+      inv_log_growth_(1.0 / std::log(growth)),
+      growth_(growth) {
+  ITASK_CHECK(min_value > 0.0 && max_value > min_value && growth > 1.0,
+              "Histogram: need 0 < min_value < max_value and growth > 1");
+  const auto num_buckets = static_cast<int64_t>(
+      std::ceil(std::log(max_value / min_value) * inv_log_growth_));
+  buckets_.assign(static_cast<size_t>(num_buckets) + 1, 0);
+}
+
+int64_t Histogram::bucket_of(double value) const {
+  if (value <= min_value_) return 0;
+  const auto i = static_cast<int64_t>(
+      std::log(value / min_value_) * inv_log_growth_);
+  return std::min(i, static_cast<int64_t>(buckets_.size()) - 1);
+}
+
+double Histogram::bucket_upper(int64_t i) const {
+  return min_value_ * std::pow(growth_, static_cast<double>(i + 1));
+}
+
+void Histogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[static_cast<size_t>(bucket_of(value))];
+  sum_ += value;
+  if (count_ == 0 || value < min_seen_) min_seen_ = value;
+  if (count_ == 0 || value > max_seen_) max_seen_ = value;
+  ++count_;
+}
+
+double Histogram::quantile_locked(double q, int64_t count) const {
+  const auto rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp the bucket's upper bound by the true extremes so tiny
+      // histograms don't report values outside the observed range.
+      return std::clamp(bucket_upper(static_cast<int64_t>(i)), min_seen_,
+                        max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = sum_ / static_cast<double>(count_);
+  s.min = min_seen_;
+  s.max = max_seen_;
+  s.p50 = quantile_locked(0.50, count_);
+  s.p95 = quantile_locked(0.95, count_);
+  s.p99 = quantile_locked(0.99, count_);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << ": " << c->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    out << name << ": count " << s.count << " mean " << s.mean << " p50 "
+        << s.p50 << " p95 " << s.p95 << " p99 " << s.p99 << " max " << s.max
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace itask::runtime

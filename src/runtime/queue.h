@@ -1,0 +1,104 @@
+// Bounded MPMC queue with admission control and micro-batch draining — the
+// spine of the inference runtime.
+//
+// Producers call try_push(), which REJECTS (returns false) when the queue is
+// full instead of blocking: admission control pushes backpressure to the
+// client rather than letting latency grow without bound. Consumers call
+// pop_batch(), which blocks for the first item, then keeps gathering until
+// either `max_items` are in hand or `max_wait` has elapsed since the batch
+// opened — the dynamic micro-batching rule (close at size OR deadline,
+// whichever first).
+//
+// close() starts a graceful shutdown: pushes fail from then on, but pops
+// continue to drain whatever was admitted; pop_batch returns empty only once
+// the queue is closed AND empty, which is the consumer's signal to exit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace itask::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
+    ITASK_CHECK(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+  }
+
+  /// Admission control: enqueues unless the queue is full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_)
+        return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Drains one micro-batch: blocks until an item arrives (or the queue
+  /// closes), then gathers up to `max_items`, waiting at most `max_wait`
+  /// after the first item before closing the batch. Returns an empty vector
+  /// only when the queue is closed and fully drained.
+  std::vector<T> pop_batch(int64_t max_items,
+                           std::chrono::microseconds max_wait) {
+    ITASK_CHECK(max_items >= 1, "BoundedQueue: max_items must be >= 1");
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return batch;  // closed and drained
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (static_cast<int64_t>(batch.size()) < max_items) {
+      if (!items_.empty()) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+        continue;
+      }
+      if (closed_) break;
+      if (ready_.wait_until(lock, deadline, [&] {
+            return !items_.empty() || closed_;
+          })) {
+        continue;  // new item (or closed); loop decides
+      }
+      break;  // deadline passed with the batch still open
+    }
+    return batch;
+  }
+
+  /// Stops admission; consumers drain the remainder. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace itask::runtime

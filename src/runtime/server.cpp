@@ -1,0 +1,125 @@
+#include "runtime/server.h"
+
+#include <chrono>
+#include <utility>
+
+namespace itask::runtime {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const core::Framework& framework,
+                                 RuntimeOptions options)
+    : framework_(framework),
+      options_(options),
+      queue_(options.queue_capacity) {
+  ITASK_CHECK(options_.workers >= 1, "InferenceServer: workers must be >= 1");
+  ITASK_CHECK(options_.max_batch >= 1,
+              "InferenceServer: max_batch must be >= 1");
+  ITASK_CHECK(options_.max_wait_us >= 0,
+              "InferenceServer: max_wait_us must be >= 0");
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int64_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
+    Tensor image, const core::TaskHandle& task, core::ConfigKind config) {
+  ITASK_CHECK(image.ndim() == 3, "try_submit: image must be [C, H, W]");
+  Pending pending;
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.image = std::move(image);
+  pending.task = &task;
+  pending.config = config;
+  pending.admitted = std::chrono::steady_clock::now();
+  std::future<InferenceResult> future = pending.promise.get_future();
+  if (!queue_.try_push(std::move(pending))) {
+    metrics_.counter("requests_rejected").increment();
+    return std::nullopt;
+  }
+  metrics_.counter("requests_submitted").increment();
+  return future;
+}
+
+void InferenceServer::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();  // admission stops; workers drain what was accepted
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void InferenceServer::worker_loop(int64_t worker_index) {
+  Counter& completed = metrics_.counter("requests_completed");
+  Counter& batches = metrics_.counter("batches");
+  Histogram& queue_h = metrics_.histogram("queue_us");
+  Histogram& infer_h = metrics_.histogram("infer_us");
+  Histogram& total_h = metrics_.histogram("total_us");
+  Histogram& batch_h = metrics_.histogram("batch_size");
+
+  while (true) {
+    std::vector<Pending> batch = queue_.pop_batch(
+        options_.max_batch, std::chrono::microseconds(options_.max_wait_us));
+    if (batch.empty()) return;  // closed and drained
+    const auto picked = std::chrono::steady_clock::now();
+    batches.increment();
+    batch_h.record(static_cast<double>(batch.size()));
+
+    // A micro-batch may mix configurations and tasks; each (config, task)
+    // group becomes one stacked [B, C, H, W] forward. Submission order is
+    // preserved within a group, so results stay deterministic.
+    std::vector<char> done(batch.size(), 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (done[i]) continue;
+      std::vector<size_t> group;
+      for (size_t j = i; j < batch.size(); ++j) {
+        if (!done[j] && batch[j].config == batch[i].config &&
+            batch[j].task->slot == batch[i].task->slot) {
+          group.push_back(j);
+        }
+      }
+
+      const Shape& img = batch[i].image.shape();
+      Tensor stacked(
+          {static_cast<int64_t>(group.size()), img[0], img[1], img[2]});
+      for (size_t g = 0; g < group.size(); ++g) {
+        stacked.set_index(static_cast<int64_t>(g), batch[group[g]].image);
+      }
+
+      const auto infer_start = std::chrono::steady_clock::now();
+      std::vector<std::vector<detect::Detection>> detections =
+          framework_.infer_batch(stacked, *batch[i].task, batch[i].config);
+      const auto infer_end = std::chrono::steady_clock::now();
+      const double group_infer_us = elapsed_us(infer_start, infer_end);
+
+      for (size_t g = 0; g < group.size(); ++g) {
+        Pending& p = batch[group[g]];
+        InferenceResult result;
+        result.request_id = p.id;
+        result.detections = std::move(detections[g]);
+        result.batch_size = static_cast<int64_t>(batch.size());
+        result.worker = worker_index;
+        result.queue_us = elapsed_us(p.admitted, picked);
+        result.infer_us = group_infer_us;
+        result.total_us = elapsed_us(p.admitted, infer_end);
+        queue_h.record(result.queue_us);
+        infer_h.record(group_infer_us);
+        total_h.record(result.total_us);
+        completed.increment();
+        p.promise.set_value(std::move(result));
+        done[group[g]] = 1;
+      }
+    }
+  }
+}
+
+}  // namespace itask::runtime

@@ -1,0 +1,101 @@
+// The multi-threaded batched inference runtime (DESIGN.md §2 `runtime`,
+// bench F6): a worker pool serving the paper's deployed dual-configuration
+// models under concurrent load.
+//
+//   client threads ──try_submit──▶ BoundedQueue ──pop_batch──▶ workers
+//        ▲ (rejected when full:        (micro-batches close at      │
+//        │  backpressure)               max_batch or max_wait)      │
+//        └────────── std::future<InferenceResult> ◀── fulfil ───────┘
+//
+// Workers group each micro-batch by (configuration, task), stack the images,
+// and run the Framework's thread-safe const inference entry point
+// (`Framework::infer_batch`), so both deployable configurations — the FP32
+// task-specific student and the INT8 multi-task student — serve real
+// requests concurrently from one shared deployment.
+//
+// Determinism contract: inference is cache-free and batch-composition-
+// invariant, so every request's detections are element-wise identical to a
+// serial `Framework::detect_batch` over the same images, whatever the
+// scheduling — the property test_runtime proves.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/itask.h"
+#include "runtime/metrics.h"
+#include "runtime/queue.h"
+
+namespace itask::runtime {
+
+struct RuntimeOptions {
+  int64_t workers = 2;
+  /// Micro-batch closes at this many requests…
+  int64_t max_batch = 8;
+  /// …or this long (µs) after its first request was picked up.
+  int64_t max_wait_us = 2000;
+  /// Admission bound: try_submit rejects beyond this many queued requests.
+  int64_t queue_capacity = 64;
+};
+
+/// Everything a client learns about one completed request.
+struct InferenceResult {
+  int64_t request_id = -1;
+  std::vector<detect::Detection> detections;
+  int64_t batch_size = 0;   // size of the micro-batch this request rode in
+  int64_t worker = -1;      // which worker served it
+  double queue_us = 0.0;    // admission → picked into a batch
+  double infer_us = 0.0;    // model forward + decode for its group
+  double total_us = 0.0;    // admission → result ready
+};
+
+/// A serving engine over a *prepared* core::Framework deployment. The
+/// framework (and every TaskHandle passed to try_submit) must outlive the
+/// server and must not be re-prepared while the server runs.
+class InferenceServer {
+ public:
+  InferenceServer(const core::Framework& framework, RuntimeOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admission-controlled submit of one image [C, H, W]. Returns the future
+  /// for its result, or nullopt when the queue is full or the server is
+  /// shutting down (the rejection is counted — the caller sheds load).
+  std::optional<std::future<InferenceResult>> try_submit(
+      Tensor image, const core::TaskHandle& task, core::ConfigKind config);
+
+  /// Graceful shutdown: stops admission, drains every queued request
+  /// (all outstanding futures are fulfilled), joins the workers. Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    int64_t id = -1;
+    Tensor image;                        // [C, H, W]
+    const core::TaskHandle* task = nullptr;
+    core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop(int64_t worker_index);
+
+  const core::Framework& framework_;
+  RuntimeOptions options_;
+  BoundedQueue<Pending> queue_;
+  MetricsRegistry metrics_;
+  std::atomic<int64_t> next_id_{0};
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace itask::runtime

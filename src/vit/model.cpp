@@ -61,6 +61,19 @@ VitOutput VitModel::forward(const Tensor& images) {
   return out;
 }
 
+VitOutput VitModel::infer(const Tensor& images) const {
+  Tensor tokens = encoder_.infer(embed_.infer(images));  // [B, T+1, D]
+  Tensor patches = patch_tokens(tokens);                 // [B, T, D]
+  VitOutput out;
+  out.objectness = obj_head_.infer(patches);
+  out.class_logits = cls_head_.infer(patches);
+  out.attr_logits = attr_head_.infer(patches);
+  out.box_deltas = box_fc2_.infer(box_gelu_.infer(box_fc1_.infer(patches)));
+  out.relevance = rel_head_.infer(patches);
+  out.features = std::move(tokens);
+  return out;
+}
+
 Tensor VitModel::backward(const VitOutputGrads& grads) {
   ITASK_CHECK(cached_batch_ > 0, "VitModel: backward before forward");
   const int64_t b = cached_batch_;

@@ -45,6 +45,11 @@ class VitModel : public nn::Module {
   /// Forward over a batch of images [B, C, H, W].
   VitOutput forward(const Tensor& images);
 
+  /// Cache-free forward for concurrent inference: numerically identical to
+  /// forward() but touches no mutable state, so many threads may call it on
+  /// one model at once. Does not feed backward() or attention_rollout().
+  VitOutput infer(const Tensor& images) const;
+
   /// Attention rollout (Abnar & Zuidema, 2020) of the most recent forward:
   /// per-image token-to-token attribution [B, T+1, T+1] obtained by
   /// propagating head-averaged attention (with residual mixing 0.5A + 0.5I)

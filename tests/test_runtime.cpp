@@ -1,0 +1,418 @@
+// Inference runtime tests: BoundedQueue semantics (micro-batch close rules,
+// backpressure, drain-on-close), metrics quantiles, and server behaviour over
+// a real trained deployment — per-request determinism against the serial
+// path, graceful shutdown without lost or duplicated requests, and a
+// multi-producer stress run mixing both configurations.
+//
+// Registered as ONE ctest entry (like test_core): the fixture trains a
+// deployment once per process. Also run under -DITASK_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/itask.h"
+#include "runtime/metrics.h"
+#include "runtime/queue.h"
+#include "runtime/server.h"
+
+namespace itask::runtime {
+namespace {
+
+using core::ConfigKind;
+using core::Framework;
+using core::FrameworkOptions;
+using core::TaskHandle;
+
+constexpr auto kNoWait = std::chrono::microseconds(0);
+constexpr auto kLongWait = std::chrono::microseconds(200000);
+
+// ---------------------------------------------------------------- queue ----
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // backpressure: full queue rejects
+  EXPECT_EQ(q.size(), 2);
+  const auto batch = q.pop_batch(8, kNoWait);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_TRUE(q.try_push(3));  // capacity freed, admission resumes
+}
+
+TEST(BoundedQueue, RejectsAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, BatchClosesAtMaxItems) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 7; ++i) q.try_push(i);
+  const auto batch = q.pop_batch(4, kLongWait);
+  ASSERT_EQ(batch.size(), 4u);  // size rule fires before the deadline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  EXPECT_EQ(q.size(), 3);
+}
+
+TEST(BoundedQueue, BatchClosesAtDeadline) {
+  BoundedQueue<int> q(16);
+  q.try_push(42);
+  const auto start = std::chrono::steady_clock::now();
+  const auto batch = q.pop_batch(8, std::chrono::microseconds(2000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(batch.size(), 1u);  // deadline rule: don't wait forever for 8
+  EXPECT_EQ(batch[0], 42);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(BoundedQueue, DrainsAfterCloseThenSignalsExit) {
+  BoundedQueue<int> q(8);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  const auto batch = q.pop_batch(8, kNoWait);
+  ASSERT_EQ(batch.size(), 2u);  // close() does not drop admitted items
+  const auto empty = q.pop_batch(8, kNoWait);
+  EXPECT_TRUE(empty.empty());  // closed AND drained → exit signal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    const auto batch = q.pop_batch(4, kLongWait);
+    EXPECT_TRUE(batch.empty());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(BoundedQueue, ConcurrentProducersLoseNothing) {
+  BoundedQueue<int> q(1024);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 128;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.try_push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  std::set<int> seen;
+  while (true) {
+    const auto batch = q.pop_batch(32, kNoWait);
+    if (batch.empty()) break;
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(BoundedQueue, ValidatesArguments) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+  BoundedQueue<int> q(1);
+  EXPECT_THROW(q.pop_batch(0, kNoWait), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000);
+}
+
+TEST(Metrics, HistogramQuantilesBracketTruth) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_NEAR(s.mean, 500.5, 1e-6);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 1000.0);
+  // Geometric buckets (growth 1.25) bound quantile error to ~25% upward.
+  EXPECT_GE(s.p50, 500.0);
+  EXPECT_LE(s.p50, 500.0 * 1.3);
+  EXPECT_GE(s.p95, 950.0);
+  EXPECT_LE(s.p99, 1000.0);  // clamped by observed max
+}
+
+TEST(Metrics, EmptyHistogramSnapshotIsZero) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Metrics, RegistryReturnsStableNamedInstances) {
+  MetricsRegistry m;
+  Counter& a = m.counter("x");
+  a.increment(3);
+  EXPECT_EQ(&m.counter("x"), &a);
+  EXPECT_EQ(m.counter("x").value(), 3);
+  m.histogram("lat").record(10.0);
+  const std::string report = m.report();
+  EXPECT_NE(report.find("x: 3"), std::string::npos);
+  EXPECT_NE(report.find("lat:"), std::string::npos);
+}
+
+// --------------------------------------------------------------- server ----
+
+FrameworkOptions fast_options() {
+  FrameworkOptions o;
+  o.corpus_size = 256;
+  o.task_corpus_size = 128;
+  o.multitask_corpus_size = 128;
+  o.calibration_scenes = 8;
+  o.teacher_training.epochs = 16;
+  o.distillation.epochs = 18;
+  o.multitask_distillation.epochs = 18;
+  o.seed = 7;
+  return o;
+}
+
+// One trained deployment shared by all server tests (teacher pretraining is
+// the expensive step; do it once per process).
+class RuntimeServing : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fw_ = new Framework(fast_options());
+    fw_->pretrain_teacher();
+    task_ = new TaskHandle(fw_->define_task(data::task_by_id(1)));
+    fw_->prepare_task_specific(*task_);
+    fw_->prepare_quantized();
+    Rng rng(123);
+    data::SceneGenerator gen(fw_->options().generator);
+    eval_ = new data::Dataset(data::Dataset::generate(gen, 24, rng));
+  }
+  static void TearDownTestSuite() {
+    delete eval_;
+    delete task_;
+    delete fw_;
+  }
+
+  static void expect_same_detections(
+      const std::vector<detect::Detection>& got,
+      const std::vector<detect::Detection>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].cell, want[i].cell);
+      EXPECT_EQ(got[i].predicted_class, want[i].predicted_class);
+      // Element-wise identity, not tolerance: the runtime's determinism
+      // contract says batching/scheduling never changes a result bit.
+      EXPECT_EQ(got[i].objectness, want[i].objectness);
+      EXPECT_EQ(got[i].task_score, want[i].task_score);
+      EXPECT_EQ(got[i].confidence, want[i].confidence);
+      EXPECT_EQ(got[i].box.cx, want[i].box.cx);
+      EXPECT_EQ(got[i].box.cy, want[i].box.cy);
+      EXPECT_EQ(got[i].box.w, want[i].box.w);
+      EXPECT_EQ(got[i].box.h, want[i].box.h);
+    }
+  }
+
+  static Framework* fw_;
+  static TaskHandle* task_;
+  static data::Dataset* eval_;
+};
+
+Framework* RuntimeServing::fw_ = nullptr;
+TaskHandle* RuntimeServing::task_ = nullptr;
+data::Dataset* RuntimeServing::eval_ = nullptr;
+
+TEST_F(RuntimeServing, InferBatchMatchesDetectBatchExactly) {
+  // The const thread-safe entry point must agree with the mutable serial
+  // path element-wise, for both deployable configurations.
+  Tensor images({eval_->size(), 3, 24, 24});
+  for (int64_t i = 0; i < eval_->size(); ++i) {
+    images.set_index(i, eval_->scene(i).image);
+  }
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    const auto serial = fw_->detect_batch(images, *task_, config);
+    const auto concurrent_safe = fw_->infer_batch(images, *task_, config);
+    ASSERT_EQ(serial.size(), concurrent_safe.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      expect_same_detections(concurrent_safe[i], serial[i]);
+    }
+  }
+}
+
+TEST_F(RuntimeServing, ResultsDeterministicVsSerialPath) {
+  // Whatever micro-batches the workers form, every request's detections
+  // must be element-wise identical to serial single-image detection.
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    std::vector<std::future<InferenceResult>> futures;
+    {
+      RuntimeOptions opts;
+      opts.workers = 3;
+      opts.max_batch = 4;
+      opts.max_wait_us = 500;
+      opts.queue_capacity = 64;
+      InferenceServer server(*fw_, opts);
+      for (int64_t i = 0; i < eval_->size(); ++i) {
+        auto f = server.try_submit(eval_->scene(i).image, *task_, config);
+        ASSERT_TRUE(f.has_value());
+        futures.push_back(std::move(*f));
+      }
+    }  // destructor = graceful shutdown; all futures must be fulfilled
+    for (int64_t i = 0; i < eval_->size(); ++i) {
+      InferenceResult r = futures[static_cast<size_t>(i)].get();
+      EXPECT_EQ(r.request_id, i);
+      const auto serial = fw_->detect(eval_->scene(i).image, *task_, config);
+      expect_same_detections(r.detections, serial);
+    }
+  }
+}
+
+TEST_F(RuntimeServing, ShutdownDrainsEveryAdmittedRequest) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  opts.max_wait_us = 200;
+  opts.queue_capacity = 128;
+  InferenceServer server(*fw_, opts);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  server.shutdown();  // must fulfil all 24, not drop queued ones
+  std::set<int64_t> ids;
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_TRUE(ids.insert(r.request_id).second) << "duplicated request";
+    EXPECT_GE(r.total_us, r.infer_us);
+    EXPECT_GE(r.batch_size, 1);
+  }
+  EXPECT_EQ(ids.size(), 24u);  // nothing lost
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(), 24);
+  EXPECT_EQ(server.metrics().counter("requests_submitted").value(), 24);
+  server.shutdown();  // idempotent
+}
+
+TEST_F(RuntimeServing, BackpressureRejectsWhenQueueFull) {
+  // No workers can make progress while we hold the only worker hostage with
+  // a tiny queue: use a capacity-2 queue and a single slow worker, then
+  // submit faster than it can drain.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 2;
+  InferenceServer server(*fw_, opts);
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    if (f.has_value()) {
+      ++accepted;
+      futures.push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+  server.shutdown();
+  EXPECT_GT(rejected, 0) << "queue of 2 should shed load at this rate";
+  EXPECT_EQ(server.metrics().counter("requests_rejected").value(), rejected);
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(), accepted);
+  for (auto& f : futures) f.get();  // every accepted request completed
+}
+
+TEST_F(RuntimeServing, SubmitAfterShutdownIsRejected) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  InferenceServer server(*fw_, opts);
+  server.shutdown();
+  const auto f = server.try_submit(eval_->scene(0).image, *task_,
+                                   ConfigKind::kQuantizedMultiTask);
+  EXPECT_FALSE(f.has_value());
+}
+
+TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
+  // 4 producer threads × both configurations, explicit per-producer seeds
+  // choosing scene and configuration. Checks: no lost/duplicate ids, every
+  // result element-wise equal to the serial path, metrics consistent.
+  RuntimeOptions opts;
+  opts.workers = 4;
+  opts.max_batch = 6;
+  opts.max_wait_us = 300;
+  opts.queue_capacity = 256;
+  InferenceServer server(*fw_, opts);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 32;
+  struct Submitted {
+    std::future<InferenceResult> future;
+    int64_t scene = 0;
+    ConfigKind config = ConfigKind::kQuantizedMultiTask;
+  };
+  std::vector<std::vector<Submitted>> per_producer(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1000 + static_cast<uint64_t>(p));  // explicit seed per producer
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int64_t scene = rng.randint(0, eval_->size() - 1);
+        const ConfigKind config = rng.bernoulli(0.5)
+                                      ? ConfigKind::kTaskSpecific
+                                      : ConfigKind::kQuantizedMultiTask;
+        while (true) {  // retry on backpressure so all submissions land
+          auto f = server.try_submit(eval_->scene(scene).image, *task_, config);
+          if (f.has_value()) {
+            per_producer[static_cast<size_t>(p)].push_back(
+                Submitted{std::move(*f), scene, config});
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.shutdown();
+
+  std::set<int64_t> ids;
+  for (auto& submissions : per_producer) {
+    ASSERT_EQ(submissions.size(), static_cast<size_t>(kPerProducer));
+    for (auto& s : submissions) {
+      InferenceResult r = s.future.get();
+      EXPECT_TRUE(ids.insert(r.request_id).second);
+      const auto serial =
+          fw_->detect(eval_->scene(s.scene).image, *task_, s.config);
+      expect_same_detections(r.detections, serial);
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(),
+            kProducers * kPerProducer);
+  const auto batch_sizes = server.metrics().histogram("batch_size").snapshot();
+  EXPECT_GE(batch_sizes.max, 1.0);
+  EXPECT_LE(batch_sizes.max, static_cast<double>(opts.max_batch));
+}
+
+}  // namespace
+}  // namespace itask::runtime
