@@ -6,6 +6,40 @@
 
 namespace itask::nn {
 
+Tensor layernorm_affine(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps) {
+  ITASK_CHECK(gamma.ndim() == 1 && gamma.shape() == beta.shape(),
+              "layernorm_affine: gamma/beta must be matching 1-D");
+  const int64_t c = gamma.numel();
+  ITASK_CHECK(x.ndim() >= 1 && x.dim(x.ndim() - 1) == c,
+              "layernorm_affine: trailing dim mismatch");
+  const int64_t rows = x.numel() / c;
+  Tensor out = x;
+  auto o = out.data();
+  auto g = gamma.data();
+  auto b = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = o.data() + r * c;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < c; ++j) mean += row[j];
+    mean /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(c);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    // Statement structure mirrors LayerNorm::forward so infer stays
+    // element-wise identical under fp contraction (asserted in test_runtime).
+    for (int64_t j = 0; j < c; ++j) {
+      const float xhat = (row[j] - mean) * rstd;
+      row[j] = xhat * g[j] + b[j];
+    }
+  }
+  return out;
+}
+
 LayerNorm::LayerNorm(int64_t features, float eps)
     : features_(features),
       eps_(eps),
@@ -55,32 +89,7 @@ Tensor LayerNorm::forward(const Tensor& input) {
 Tensor LayerNorm::infer(const Tensor& input) const {
   ITASK_CHECK(input.ndim() >= 1 && input.dim(input.ndim() - 1) == features_,
               "LayerNorm: trailing dim mismatch");
-  const int64_t c = features_;
-  const int64_t rows = input.numel() / c;
-  Tensor out = input;
-  auto in = input.data();
-  auto o = out.data();
-  auto g = gamma_.value.data();
-  auto b = beta_.value.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = in.data() + r * c;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < c; ++j) mean += row[j];
-    mean /= static_cast<float>(c);
-    float var = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(c);
-    const float r_std = 1.0f / std::sqrt(var + eps_);
-    float* orow = o.data() + r * c;
-    for (int64_t j = 0; j < c; ++j) {
-      const float xhat = (row[j] - mean) * r_std;
-      orow[j] = xhat * g[j] + b[j];
-    }
-  }
-  return out;
+  return layernorm_affine(input, gamma_.value, beta_.value, eps_);
 }
 
 Tensor LayerNorm::backward(const Tensor& grad_out) {

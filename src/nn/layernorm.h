@@ -5,6 +5,12 @@
 
 namespace itask::nn {
 
+/// Stateless affine layernorm over the trailing axis — the single fp32
+/// implementation shared by LayerNorm::infer and the quantized runtime
+/// (which keeps LayerNorm in fp32, see quant/qvit.h).
+Tensor layernorm_affine(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps = 1e-5f);
+
 /// y = (x - mean) / sqrt(var + eps) * gamma + beta, normalised per row.
 class LayerNorm : public Module {
  public:

@@ -1,5 +1,14 @@
 // INT8 GEMM with INT32 accumulation — the numeric core of the quantized
 // runtime and the operation the systolic-array simulator models.
+//
+// Two implementations share the semantics:
+//  * int8_gemm_bt — the naive triple loop, retained as the parity oracle
+//    (the functional systolic array asserts against it) and the "before"
+//    side of bench_k0_gemm;
+//  * int8_gemm_bt_packed — the deployed kernel: cache-blocked with int16
+//    operand panels and int32 register-tile accumulators, plus a
+//    precomputed per-output-row Σw table for the zero-point correction.
+// Integer addition is associative, so both produce bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +25,19 @@ void int8_gemm_bt(std::span<const int8_t> a, int32_t a_zero_point,
                   std::span<const int8_t> w, std::span<int32_t> acc,
                   int64_t m, int64_t k, int64_t n);
 
-/// Full quantized linear: quantizes `x` with `act`, runs int8_gemm_bt against
-/// `weight`, and dequantizes with per-row weight scales, adding `bias`.
-/// x: [rows, in] FP32; returns [rows, out] FP32.
+/// Blocked/packed variant of int8_gemm_bt. `w_row_sums` is the per-output-row
+/// Σw table (QuantizedWeight::row_sums, built once at finalize()); the
+/// zero-point correction acc = a·w − zp·Σw then costs one multiply per
+/// output instead of a weight pass per call. Bit-identical to int8_gemm_bt.
+void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
+                         std::span<const int8_t> w,
+                         std::span<const int32_t> w_row_sums,
+                         std::span<int32_t> acc, int64_t m, int64_t k,
+                         int64_t n);
+
+/// Full quantized linear: quantizes `x` with `act`, runs the packed INT8
+/// GEMM against `weight`, and dequantizes with per-row weight scales, adding
+/// `bias`. x: [rows, in] FP32; returns [rows, out] FP32.
 Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
                        const QuantizedWeight& weight, const Tensor* bias);
 

@@ -70,6 +70,20 @@ Tensor dequantize_tensor(const std::vector<int8_t>& q, const Shape& shape,
   return out;
 }
 
+std::vector<int32_t> weight_row_sums(std::span<const int8_t> w, int64_t out,
+                                     int64_t in) {
+  ITASK_CHECK(static_cast<int64_t>(w.size()) == out * in,
+              "weight_row_sums: size mismatch");
+  std::vector<int32_t> sums(static_cast<size_t>(out));
+  for (int64_t r = 0; r < out; ++r) {
+    const int8_t* row = w.data() + r * in;
+    int32_t s = 0;
+    for (int64_t j = 0; j < in; ++j) s += row[j];
+    sums[static_cast<size_t>(r)] = s;
+  }
+  return sums;
+}
+
 QuantizedWeight quantize_weight(const Tensor& weight,
                                 WeightGranularity granularity, int bits) {
   ITASK_CHECK(weight.ndim() == 2, "quantize_weight: need [out, in]");
@@ -96,6 +110,7 @@ QuantizedWeight quantize_weight(const Tensor& weight,
         qw.data[static_cast<size_t>(r * qw.in + j)] = p.quantize(row[j]);
     }
   }
+  qw.row_sums = weight_row_sums(qw.data, qw.out, qw.in);
   return qw;
 }
 

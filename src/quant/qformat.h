@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -53,6 +54,10 @@ struct QuantizedWeight {
   int64_t in = 0;
   std::vector<int8_t> data;  // row-major [out, in]
   std::vector<float> scales; // size 1 (per-tensor) or `out` (per-channel)
+  /// Per-output-row Σw, precomputed once at quantization time so the GEMM's
+  /// activation zero-point correction (a−zp)·w = a·w − zp·Σw needs no
+  /// per-call weight pass.
+  std::vector<int32_t> row_sums;  // size `out`
 
   float scale_for_row(int64_t row) const {
     return scales.size() == 1 ? scales[0]
@@ -61,6 +66,11 @@ struct QuantizedWeight {
 };
 
 enum class WeightGranularity { kPerTensor, kPerChannel };
+
+/// Per-output-row sums of a row-major [out, in] int8 weight matrix — the
+/// zero-point-correction table stored in QuantizedWeight::row_sums.
+std::vector<int32_t> weight_row_sums(std::span<const int8_t> w, int64_t out,
+                                     int64_t in);
 
 /// Quantizes an FP32 weight matrix [out, in] symmetrically.
 QuantizedWeight quantize_weight(const Tensor& weight,

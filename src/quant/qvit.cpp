@@ -4,38 +4,12 @@
 
 #include "nn/attention.h"
 #include "nn/embedding.h"
+#include "nn/layernorm.h"
 #include "tensor/ops.h"
 
 namespace itask::quant {
 
 namespace {
-
-/// Stateless FP32 layernorm over the trailing axis with affine params.
-Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                 float eps = 1e-5f) {
-  const int64_t c = gamma.numel();
-  const int64_t rows = x.numel() / c;
-  Tensor out = x;
-  auto o = out.data();
-  auto g = gamma.data();
-  auto b = beta.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = o.data() + r * c;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < c; ++j) mean += row[j];
-    mean /= static_cast<float>(c);
-    float var = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(c);
-    const float rstd = 1.0f / std::sqrt(var + eps);
-    for (int64_t j = 0; j < c; ++j)
-      row[j] = (row[j] - mean) * rstd * g[j] + b[j];
-  }
-  return out;
-}
 
 Tensor fetch(const io::StateDict& state, const std::string& key) {
   const auto it = state.find(key);
@@ -161,7 +135,7 @@ vit::VitOutput QuantizedVit::run(Self& self, const Tensor& images,
   const float scale =
       1.0f / std::sqrt(static_cast<float>(d / self.config_.heads));
   for (auto& blk : self.blocks_) {
-    Tensor normed = layernorm(x, blk.ln1.gamma, blk.ln1.beta);
+    Tensor normed = nn::layernorm_affine(x, blk.ln1.gamma, blk.ln1.beta);
     Tensor qkv = apply(blk.qkv, normed);  // [B, T+1, 3D]
     const int64_t rows = b * (t + 1);
     Tensor q({b, t + 1, d}), k({b, t + 1, d}), v({b, t + 1, d});
@@ -183,11 +157,12 @@ vit::VitOutput QuantizedVit::run(Self& self, const Tensor& images,
     Tensor ctx = nn::merge_heads(ops::bmm(attn, vh), self.config_.heads);
     Tensor attn_out = apply(blk.proj, ctx);
     x = ops::add(x, attn_out);
-    Tensor normed2 = layernorm(x, blk.ln2.gamma, blk.ln2.beta);
+    Tensor normed2 = nn::layernorm_affine(x, blk.ln2.gamma, blk.ln2.beta);
     Tensor mlp = apply(blk.fc2, ops::gelu(apply(blk.fc1, normed2)));
     x = ops::add(x, mlp);
   }
-  Tensor tokens = layernorm(x, self.final_ln_.gamma, self.final_ln_.beta);
+  Tensor tokens =
+      nn::layernorm_affine(x, self.final_ln_.gamma, self.final_ln_.beta);
   // Patch tokens → heads.
   Tensor patch_feats({b, t, d});
   {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
+
 namespace itask::ops {
 
 namespace {
@@ -12,22 +14,6 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
               std::string(op) + ": shape mismatch " +
                   shape_to_string(a.shape()) + " vs " +
                   shape_to_string(b.shape()));
-}
-
-// Core row-major GEMM: C[M,N] += A[M,K] * B[K,N]; loops ordered (m,k,n) so the
-// inner loop streams both B and C rows — adequate at this project's sizes.
-void gemm_accumulate(std::span<const float> a, std::span<const float> b,
-                     std::span<float> c, int64_t m, int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
 }
 
 }  // namespace
@@ -106,7 +92,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   ITASK_CHECK(a.dim(1) == b.dim(0), "matmul: inner dimension mismatch");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  gemm_accumulate(a.data(), b.data(), out.data(), m, k, n);
+  gemm::gemm_nn(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -115,19 +101,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   ITASK_CHECK(a.dim(1) == b.dim(1), "matmul_bt: inner dimension mismatch");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor out({m, n});
-  auto ad = a.data();
-  auto bd = b.data();
-  auto od = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ad.data() + i * k;
-    float* orow = od.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bd.data() + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
-    }
-  }
+  gemm::gemm_bt(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -136,19 +110,7 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   ITASK_CHECK(a.dim(0) == b.dim(0), "matmul_at: inner dimension mismatch");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  auto ad = a.data();
-  auto bd = b.data();
-  auto od = out.data();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = ad.data() + p * m;
-    const float* brow = bd.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = od.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  gemm::gemm_at(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -172,8 +134,8 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   auto ad = a.data();
   auto bd = b.data();
   return batched(a, m, n, [&](int64_t i, Tensor& out) {
-    gemm_accumulate(ad.subspan(i * m * k, m * k), bd.subspan(i * k * n, k * n),
-                    out.data().subspan(i * m * n, m * n), m, k, n);
+    gemm::gemm_nn(ad.data() + i * m * k, bd.data() + i * k * n,
+                  out.data().data() + i * m * n, m, k, n);
   });
 }
 
@@ -185,18 +147,8 @@ Tensor bmm_bt(const Tensor& a, const Tensor& b) {
   auto ad = a.data();
   auto bd = b.data();
   return batched(a, m, n, [&](int64_t i, Tensor& out) {
-    const float* abase = ad.data() + i * m * k;
-    const float* bbase = bd.data() + i * n * k;
-    float* obase = out.data().data() + i * m * n;
-    for (int64_t r = 0; r < m; ++r) {
-      for (int64_t c = 0; c < n; ++c) {
-        float acc = 0.0f;
-        const float* arow = abase + r * k;
-        const float* brow = bbase + c * k;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        obase[r * n + c] = acc;
-      }
-    }
+    gemm::gemm_bt(ad.data() + i * m * k, bd.data() + i * n * k,
+                  out.data().data() + i * m * n, m, k, n);
   });
 }
 
@@ -208,19 +160,8 @@ Tensor bmm_at(const Tensor& a, const Tensor& b) {
   auto ad = a.data();
   auto bd = b.data();
   return batched(a, m, n, [&](int64_t i, Tensor& out) {
-    const float* abase = ad.data() + i * k * m;
-    const float* bbase = bd.data() + i * k * n;
-    float* obase = out.data().data() + i * m * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = abase + p * m;
-      const float* brow = bbase + p * n;
-      for (int64_t r = 0; r < m; ++r) {
-        const float av = arow[r];
-        if (av == 0.0f) continue;
-        float* orow = obase + r * n;
-        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-      }
-    }
+    gemm::gemm_at(ad.data() + i * k * m, bd.data() + i * k * n,
+                  out.data().data() + i * m * n, m, k, n);
   });
 }
 

@@ -1,0 +1,163 @@
+// Kernel-layer parity tests: the blocked/packed GEMMs (tensor/gemm.h,
+// quant int8) against the retained naive reference kernels, across awkward
+// shapes — unit dims, primes, tails smaller than the micro-tile, blocks
+// larger than one cache slab, empty batches. fp32 comparisons use the
+// documented reassociation tolerance (EXPERIMENTS.md K0); int8 must be
+// bit-exact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "quant/int8_gemm.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace itask {
+namespace {
+
+// |packed − naive| ≤ kFpTol·(1 + |naive|): fp32 reassociation only — the
+// kernels do the same multiplies in a different summation order.
+constexpr float kFpTol = 2e-5f;
+
+void expect_close(std::span<const float> got, std::span<const float> want,
+                  const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = kFpTol * (1.0f + std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol) << label << " element " << i;
+  }
+}
+
+// Awkward shapes: all-ones, primes, sub-tile tails, exact tile multiples,
+// tile+1, and one case crossing every cache-block boundary (KC/MC/NC = 256/
+// 128/128, MR×NR = 8×16).
+const std::vector<std::tuple<int64_t, int64_t, int64_t>> kShapes = {
+    {1, 1, 1},    {1, 17, 1},   {19, 1, 23},  {7, 11, 13},
+    {5, 3, 9},    {8, 16, 16},  {16, 32, 48}, {9, 257, 17},
+    {130, 300, 130}};
+
+class GemmKernelParity
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(GemmKernelParity, Fp32AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  const Tensor a = rng.randn({m, k});
+  const Tensor b_kn = rng.randn({k, n});
+  const Tensor b_nk = rng.randn({n, k});
+  const Tensor a_km = rng.randn({k, m});
+
+  Tensor got({m, n}), want({m, n});
+  gemm::gemm_nn(a.data().data(), b_kn.data().data(), got.data().data(), m, k,
+                n);
+  gemm::reference::gemm_nn(a.data().data(), b_kn.data().data(),
+                           want.data().data(), m, k, n);
+  expect_close(got.data(), want.data(), "nn");
+
+  got.fill(0.0f);
+  want.fill(0.0f);
+  gemm::gemm_bt(a.data().data(), b_nk.data().data(), got.data().data(), m, k,
+                n);
+  gemm::reference::gemm_bt(a.data().data(), b_nk.data().data(),
+                           want.data().data(), m, k, n);
+  expect_close(got.data(), want.data(), "bt");
+
+  got.fill(0.0f);
+  want.fill(0.0f);
+  gemm::gemm_at(a_km.data().data(), b_kn.data().data(), got.data().data(), m,
+                k, n);
+  gemm::reference::gemm_at(a_km.data().data(), b_kn.data().data(),
+                           want.data().data(), m, k, n);
+  expect_close(got.data(), want.data(), "at");
+}
+
+TEST_P(GemmKernelParity, AccumulatesIntoNonzeroC) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + k + n) + 77);
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({k, n});
+  Tensor got = rng.randn({m, n});
+  Tensor want = got;
+  gemm::gemm_nn(a.data().data(), b.data().data(), got.data().data(), m, k, n);
+  gemm::reference::gemm_nn(a.data().data(), b.data().data(),
+                           want.data().data(), m, k, n);
+  expect_close(got.data(), want.data(), "accumulate");
+}
+
+TEST_P(GemmKernelParity, Int8PackedBitExactVsNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 31 + k * 7 + n) + 5);
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> w(static_cast<size_t>(n * k));
+  for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+  for (auto& v : w) v = static_cast<int8_t>(rng.randint(-128, 127));
+  const int32_t zp = static_cast<int32_t>(rng.randint(-50, 50));
+  std::vector<int32_t> want(static_cast<size_t>(m * n));
+  std::vector<int32_t> got(static_cast<size_t>(m * n), -1);
+  quant::int8_gemm_bt(a, zp, w, want, m, k, n);
+  quant::int8_gemm_bt_packed(a, zp, w, quant::weight_row_sums(w, n, k), got,
+                             m, k, n);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, GemmKernelParity, ::testing::ValuesIn(kShapes),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GemmKernel, EmptyBatchAndZeroDims) {
+  // Empty batch: [0, m, k] × [0, k, n] → [0, m, n], no work, no crash.
+  EXPECT_EQ(ops::bmm(Tensor({0, 3, 4}), Tensor({0, 4, 5})).shape(),
+            (Shape{0, 3, 5}));
+  EXPECT_EQ(ops::bmm_bt(Tensor({0, 3, 4}), Tensor({0, 5, 4})).shape(),
+            (Shape{0, 3, 5}));
+  EXPECT_EQ(ops::bmm_at(Tensor({0, 4, 3}), Tensor({0, 4, 5})).shape(),
+            (Shape{0, 3, 5}));
+  // Zero rows / zero inner dim through the 2-D entry points.
+  EXPECT_EQ(ops::matmul(Tensor({0, 4}), Tensor({4, 5})).shape(),
+            (Shape{0, 5}));
+  Tensor zk = ops::matmul(Tensor({3, 0}), Tensor({0, 5}));
+  EXPECT_EQ(zk.shape(), (Shape{3, 5}));
+  for (float v : zk.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GemmKernel, BmmFamilyMatchesReferencePerBatch) {
+  Rng rng(42);
+  const int64_t bb = 3, m = 9, k = 21, n = 12;
+  const Tensor a = rng.randn({bb, m, k});
+  const Tensor b = rng.randn({bb, k, n});
+  const Tensor out = ops::bmm(a, b);
+  for (int64_t i = 0; i < bb; ++i) {
+    Tensor want({m, n});
+    gemm::reference::gemm_nn(a.data().data() + i * m * k,
+                             b.data().data() + i * k * n, want.data().data(),
+                             m, k, n);
+    EXPECT_TRUE(out.index(i).allclose(want, 1e-4f)) << "batch " << i;
+  }
+}
+
+TEST(GemmKernel, RowSumsTableMatchesOnTheFly) {
+  Rng rng(9);
+  const Tensor w = rng.randn({7, 13});
+  const quant::QuantizedWeight qw =
+      quant::quantize_weight(w, quant::WeightGranularity::kPerChannel);
+  EXPECT_EQ(qw.row_sums, quant::weight_row_sums(qw.data, qw.out, qw.in));
+  // qlinear_forward must accept a hand-built weight with no table.
+  quant::QuantizedWeight bare = qw;
+  bare.row_sums.clear();
+  const Tensor x = rng.randn({4, 13});
+  const quant::QuantParams act = quant::QuantParams::asymmetric(-3.0f, 3.0f);
+  const Tensor with_table = quant::qlinear_forward(x, act, qw, nullptr);
+  const Tensor without = quant::qlinear_forward(x, act, bare, nullptr);
+  EXPECT_TRUE(with_table.allclose(without, 0.0f));
+}
+
+}  // namespace
+}  // namespace itask
