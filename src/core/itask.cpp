@@ -244,6 +244,18 @@ detect::EvalResult Framework::evaluate(const data::Dataset& dataset,
                           options_.eval_iou);
 }
 
+Shape Framework::expected_input_shape() const {
+  const vit::ViTConfig& c = options_.student_config;
+  return Shape{c.channels, c.image_size, c.image_size};
+}
+
+bool Framework::is_prepared(const TaskHandle& task, ConfigKind config) const {
+  if (config == ConfigKind::kTaskSpecific) {
+    return students_.find(task.slot) != students_.end();
+  }
+  return quantized_.has_value();
+}
+
 PolicyDecision Framework::choose_configuration(
     const SituationProfile& profile) const {
   return itask::core::choose_configuration(profile, task_specific_model_mb(),

@@ -123,6 +123,18 @@ class Framework {
   /// Situational adaptability (DESIGN.md claim 4).
   PolicyDecision choose_configuration(const SituationProfile& profile) const;
 
+  /// Per-image input shape [C, H, W] every deployed model expects — the
+  /// admission contract the serving runtime validates requests against.
+  /// (Both deployable configurations share the student architecture.)
+  Shape expected_input_shape() const;
+
+  /// Whether `config` can serve `task` right now: task-specific needs a
+  /// student distilled for the task's slot, quantized needs the finalized
+  /// INT8 model (which serves any defined task via KG matching). Lets the
+  /// runtime fail malformed requests at admission instead of inside a
+  /// worker.
+  bool is_prepared(const TaskHandle& task, ConfigKind config) const;
+
   // --- accessors used by benches/tests ---
   vit::VitModel& teacher();
   vit::VitModel& student_for(const TaskHandle& task);

@@ -15,6 +15,45 @@ struct ScoredMatch {
   float iou_value = 0.0f;
 };
 
+/// Greedy-matches one scene's detections (visited in detection_order, the
+/// deterministic confidence ranking) against its task-relevant ground truth,
+/// appending one ScoredMatch per detection. Invariant shared by evaluate()
+/// and pr_curve(): an unmatched detection records iou_value == 0, never the
+/// iou_threshold search sentinel.
+void match_scene(const std::vector<Detection>& detections,
+                 const std::vector<GroundTruthObject>& gt, float iou_threshold,
+                 std::vector<ScoredMatch>& matches) {
+  std::vector<Detection> dets = detections;
+  std::sort(dets.begin(), dets.end(), detection_order);
+  std::vector<bool> taken(gt.size(), false);
+  for (const Detection& d : dets) {
+    int best = -1;
+    float best_iou = iou_threshold;
+    for (size_t gi = 0; gi < gt.size(); ++gi) {
+      if (taken[gi] || !gt[gi].task_relevant) continue;
+      const float v = iou(d.box, gt[gi].box);
+      if (v >= best_iou) {
+        best_iou = v;
+        best = static_cast<int>(gi);
+      }
+    }
+    if (best >= 0) {
+      taken[static_cast<size_t>(best)] = true;
+      matches.push_back({d.confidence, true, best_iou});
+    } else {
+      matches.push_back({d.confidence, false, 0.0f});
+    }
+  }
+}
+
+/// Deterministic confidence sweep order: ties put true positives first so
+/// the PR curve / AP are reproducible across platforms and input orders.
+bool sweep_order(const ScoredMatch& a, const ScoredMatch& b) {
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.is_tp != b.is_tp) return a.is_tp;
+  return a.iou_value > b.iou_value;
+}
+
 }  // namespace
 
 EvalResult evaluate(const std::vector<std::vector<Detection>>& detections,
@@ -27,35 +66,9 @@ EvalResult evaluate(const std::vector<std::vector<Detection>>& detections,
   int64_t total_relevant = 0;
 
   for (size_t s = 0; s < detections.size(); ++s) {
-    const auto& gt = truth[s];
-    for (const GroundTruthObject& g : gt)
+    for (const GroundTruthObject& g : truth[s])
       if (g.task_relevant) ++total_relevant;
-
-    // Greedy matching in confidence order.
-    std::vector<Detection> dets = detections[s];
-    std::sort(dets.begin(), dets.end(),
-              [](const Detection& a, const Detection& b) {
-                return a.confidence > b.confidence;
-              });
-    std::vector<bool> taken(gt.size(), false);
-    for (const Detection& d : dets) {
-      int best = -1;
-      float best_iou = iou_threshold;
-      for (size_t gi = 0; gi < gt.size(); ++gi) {
-        if (taken[gi] || !gt[gi].task_relevant) continue;
-        const float v = iou(d.box, gt[gi].box);
-        if (v >= best_iou) {
-          best_iou = v;
-          best = static_cast<int>(gi);
-        }
-      }
-      if (best >= 0) {
-        taken[static_cast<size_t>(best)] = true;
-        matches.push_back({d.confidence, true, best_iou});
-      } else {
-        matches.push_back({d.confidence, false, 0.0f});
-      }
-    }
+    match_scene(detections[s], truth[s], iou_threshold, matches);
   }
 
   // Operating-point statistics (all returned detections count).
@@ -93,10 +106,7 @@ EvalResult evaluate(const std::vector<std::vector<Detection>>& detections,
     result.average_precision = det_count == 0 ? 1.0f : 0.0f;
     return result;
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const ScoredMatch& a, const ScoredMatch& b) {
-              return a.confidence > b.confidence;
-            });
+  std::sort(matches.begin(), matches.end(), sweep_order);
   std::vector<float> precisions, recalls;
   int64_t tp = 0, fp = 0;
   for (const ScoredMatch& m : matches) {
@@ -127,38 +137,16 @@ std::vector<PrPoint> pr_curve(
     float iou_threshold) {
   ITASK_CHECK(detections.size() == truth.size(),
               "pr_curve: scene count mismatch");
-  // Re-run the greedy matching to label each detection TP/FP.
+  // The same greedy matching evaluate() uses labels each detection TP/FP
+  // (match_scene keeps the two paths agreeing by construction).
   std::vector<ScoredMatch> matches;
   int64_t total_relevant = 0;
   for (size_t s = 0; s < detections.size(); ++s) {
-    const auto& gt = truth[s];
-    for (const GroundTruthObject& g : gt)
+    for (const GroundTruthObject& g : truth[s])
       if (g.task_relevant) ++total_relevant;
-    std::vector<Detection> dets = detections[s];
-    std::sort(dets.begin(), dets.end(),
-              [](const Detection& a, const Detection& b) {
-                return a.confidence > b.confidence;
-              });
-    std::vector<bool> taken(gt.size(), false);
-    for (const Detection& d : dets) {
-      int best = -1;
-      float best_iou = iou_threshold;
-      for (size_t gi = 0; gi < gt.size(); ++gi) {
-        if (taken[gi] || !gt[gi].task_relevant) continue;
-        const float v = iou(d.box, gt[gi].box);
-        if (v >= best_iou) {
-          best_iou = v;
-          best = static_cast<int>(gi);
-        }
-      }
-      if (best >= 0) taken[static_cast<size_t>(best)] = true;
-      matches.push_back({d.confidence, best >= 0, best_iou});
-    }
+    match_scene(detections[s], truth[s], iou_threshold, matches);
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const ScoredMatch& a, const ScoredMatch& b) {
-              return a.confidence > b.confidence;
-            });
+  std::sort(matches.begin(), matches.end(), sweep_order);
   std::vector<PrPoint> curve;
   int64_t tp = 0, fp = 0;
   for (const ScoredMatch& m : matches) {

@@ -17,12 +17,20 @@ float iou(const BoxPx& a, const BoxPx& b) {
   return uni > 0.0f ? inter / uni : 0.0f;
 }
 
+bool detection_order(const Detection& a, const Detection& b) {
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.predicted_class != b.predicted_class)
+    return a.predicted_class < b.predicted_class;
+  if (a.box.cx != b.box.cx) return a.box.cx < b.box.cx;
+  if (a.box.cy != b.box.cy) return a.box.cy < b.box.cy;
+  if (a.box.w != b.box.w) return a.box.w < b.box.w;
+  if (a.box.h != b.box.h) return a.box.h < b.box.h;
+  return a.cell < b.cell;
+}
+
 std::vector<Detection> nms(std::vector<Detection> detections,
                            float iou_threshold) {
-  std::sort(detections.begin(), detections.end(),
-            [](const Detection& a, const Detection& b) {
-              return a.confidence > b.confidence;
-            });
+  std::sort(detections.begin(), detections.end(), detection_order);
   std::vector<Detection> kept;
   for (Detection& d : detections) {
     bool suppressed = false;

@@ -24,6 +24,10 @@
 
 namespace itask::runtime {
 
+/// Why a push was (or was not) admitted — "full" is transient backpressure,
+/// "closed" is terminal shutdown; callers surface the two differently.
+enum class PushResult { kOk, kFull, kClosed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -31,17 +35,22 @@ class BoundedQueue {
     ITASK_CHECK(capacity >= 1, "BoundedQueue: capacity must be >= 1");
   }
 
-  /// Admission control: enqueues unless the queue is full or closed.
-  bool try_push(T item) {
+  /// Admission control: enqueues unless the queue is full or closed, and
+  /// says which of the two refused the item.
+  PushResult push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_)
-        return false;
+      if (closed_) return PushResult::kClosed;
+      if (static_cast<int64_t>(items_.size()) >= capacity_)
+        return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
+
+  /// push() for callers that only need admitted-or-not.
+  bool try_push(T item) { return push(std::move(item)) == PushResult::kOk; }
 
   /// Drains one micro-batch: blocks until an item arrives (or the queue
   /// closes), then gathers up to `max_items`, waiting at most `max_wait`

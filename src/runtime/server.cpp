@@ -24,6 +24,8 @@ InferenceServer::InferenceServer(const core::Framework& framework,
               "InferenceServer: max_batch must be >= 1");
   ITASK_CHECK(options_.max_wait_us >= 0,
               "InferenceServer: max_wait_us must be >= 0");
+  ITASK_CHECK(options_.deadline_us >= 0,
+              "InferenceServer: deadline_us must be >= 0");
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int64_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -33,18 +35,55 @@ InferenceServer::InferenceServer(const core::Framework& framework,
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
-    Tensor image, const core::TaskHandle& task, core::ConfigKind config) {
-  ITASK_CHECK(image.ndim() == 3, "try_submit: image must be [C, H, W]");
+    Tensor image, const core::TaskHandle& task, core::ConfigKind config,
+    std::optional<int64_t> deadline_us) {
+  // Admission-time validation: malformed requests fail fast at the edge with
+  // a clear message, so a worker never sees an image it cannot stack or a
+  // configuration it cannot serve (which would otherwise throw mid-loop).
+  const Shape expected = framework_.expected_input_shape();
+  if (image.shape() != expected) {
+    metrics_.counter("requests_invalid").increment();
+    ITASK_CHECK(false, "try_submit: image shape " +
+                           shape_to_string(image.shape()) +
+                           " does not match the deployment's expected "
+                           "[C, H, W] shape " +
+                           shape_to_string(expected));
+  }
+  if (!framework_.is_prepared(task, config)) {
+    metrics_.counter("requests_invalid").increment();
+    ITASK_CHECK(false,
+                std::string("try_submit: configuration ") +
+                    core::config_kind_name(config) +
+                    " is not prepared for task slot " +
+                    std::to_string(task.slot) +
+                    " (run prepare_task_specific/prepare_quantized first)");
+  }
+  const int64_t effective_deadline_us =
+      deadline_us.value_or(options_.deadline_us);
+  ITASK_CHECK(effective_deadline_us >= 0,
+              "try_submit: deadline_us must be >= 0");
+
   Pending pending;
   pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   pending.image = std::move(image);
   pending.task = &task;
   pending.config = config;
   pending.admitted = std::chrono::steady_clock::now();
+  if (effective_deadline_us > 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.admitted + std::chrono::microseconds(effective_deadline_us);
+  }
   std::future<InferenceResult> future = pending.promise.get_future();
-  if (!queue_.try_push(std::move(pending))) {
-    metrics_.counter("requests_rejected").increment();
-    return std::nullopt;
+  switch (queue_.push(std::move(pending))) {
+    case PushResult::kFull:
+      metrics_.counter("rejected_queue_full").increment();
+      return std::nullopt;
+    case PushResult::kClosed:
+      metrics_.counter("rejected_shutdown").increment();
+      return std::nullopt;
+    case PushResult::kOk:
+      break;
   }
   metrics_.counter("requests_submitted").increment();
   return future;
@@ -60,6 +99,8 @@ void InferenceServer::shutdown() {
 
 void InferenceServer::worker_loop(int64_t worker_index) {
   Counter& completed = metrics_.counter("requests_completed");
+  Counter& failed = metrics_.counter("requests_failed");
+  Counter& expired = metrics_.counter("requests_expired");
   Counter& batches = metrics_.counter("batches");
   Histogram& queue_h = metrics_.histogram("queue_us");
   Histogram& infer_h = metrics_.histogram("infer_us");
@@ -74,10 +115,25 @@ void InferenceServer::worker_loop(int64_t worker_index) {
     batches.increment();
     batch_h.record(static_cast<double>(batch.size()));
 
+    std::vector<char> done(batch.size(), 0);
+    // Deadline shedding at batch-formation time: a request that already
+    // missed its deadline gets DeadlineExceeded instead of inference time,
+    // so under overload latency degrades boundedly rather than the queue
+    // serving ever-staler work.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = batch[i];
+      if (!p.has_deadline || picked < p.deadline) continue;
+      expired.increment();
+      p.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "request " + std::to_string(p.id) + " expired after " +
+          std::to_string(static_cast<int64_t>(elapsed_us(p.admitted, picked))) +
+          " us in queue")));
+      done[i] = 1;
+    }
+
     // A micro-batch may mix configurations and tasks; each (config, task)
     // group becomes one stacked [B, C, H, W] forward. Submission order is
     // preserved within a group, so results stay deterministic.
-    std::vector<char> done(batch.size(), 0);
     for (size_t i = 0; i < batch.size(); ++i) {
       if (done[i]) continue;
       std::vector<size_t> group;
@@ -88,17 +144,40 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         }
       }
 
-      const Shape& img = batch[i].image.shape();
-      Tensor stacked(
-          {static_cast<int64_t>(group.size()), img[0], img[1], img[2]});
-      for (size_t g = 0; g < group.size(); ++g) {
-        stacked.set_index(static_cast<int64_t>(g), batch[group[g]].image);
+      // Fault isolation: a throw anywhere in this group's inference (stack,
+      // fault_injector, infer_batch) fails exactly this group's futures; the
+      // worker keeps draining, other groups and later batches are untouched.
+      std::vector<std::vector<detect::Detection>> detections;
+      std::chrono::steady_clock::time_point infer_start, infer_end;
+      try {
+        if (options_.fault_injector) {
+          FaultSite site;
+          site.worker = worker_index;
+          site.first_request_id = batch[group.front()].id;
+          site.group_size = static_cast<int64_t>(group.size());
+          site.config = batch[i].config;
+          site.task_slot = batch[i].task->slot;
+          options_.fault_injector(site);
+        }
+        const Shape& img = batch[i].image.shape();
+        Tensor stacked(
+            {static_cast<int64_t>(group.size()), img[0], img[1], img[2]});
+        for (size_t g = 0; g < group.size(); ++g) {
+          stacked.set_index(static_cast<int64_t>(g), batch[group[g]].image);
+        }
+        infer_start = std::chrono::steady_clock::now();
+        detections =
+            framework_.infer_batch(stacked, *batch[i].task, batch[i].config);
+        infer_end = std::chrono::steady_clock::now();
+      } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        for (const size_t member : group) {
+          batch[member].promise.set_exception(error);
+          failed.increment();
+          done[member] = 1;
+        }
+        continue;
       }
-
-      const auto infer_start = std::chrono::steady_clock::now();
-      std::vector<std::vector<detect::Detection>> detections =
-          framework_.infer_batch(stacked, *batch[i].task, batch[i].config);
-      const auto infer_end = std::chrono::steady_clock::now();
       const double group_infer_us = elapsed_us(infer_start, infer_end);
 
       for (size_t g = 0; g < group.size(); ++g) {

@@ -17,11 +17,22 @@
 // invariant, so every request's detections are element-wise identical to a
 // serial `Framework::detect_batch` over the same images, whatever the
 // scheduling — the property test_runtime proves.
+//
+// Fault tolerance contract: one bad request never takes the server down.
+// Malformed requests (wrong image shape, unprepared configuration) throw at
+// admission; an inference fault inside a worker is delivered on exactly the
+// affected group's futures while the worker keeps draining; requests whose
+// deadline passed before a worker picked them are shed with DeadlineExceeded.
+// Every admitted request's future is always fulfilled — with a value or an
+// exception, never abandoned.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +42,26 @@
 
 namespace itask::runtime {
 
+/// Delivered on a request's future when its deadline passed before any
+/// worker picked it into a micro-batch (bounded-latency load shedding).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Identifies one (configuration, task) group of a micro-batch — the unit of
+/// inference and therefore of fault isolation. Deterministic given the
+/// submission order (first_request_id), so tests and benches can target
+/// exact groups.
+struct FaultSite {
+  int64_t worker = -1;
+  int64_t first_request_id = -1;
+  int64_t group_size = 0;
+  core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
+  int64_t task_slot = -1;
+};
+
 struct RuntimeOptions {
   int64_t workers = 2;
   /// Micro-batch closes at this many requests…
@@ -39,6 +70,16 @@ struct RuntimeOptions {
   int64_t max_wait_us = 2000;
   /// Admission bound: try_submit rejects beyond this many queued requests.
   int64_t queue_capacity = 64;
+  /// Default per-request deadline (µs from admission); 0 disables. A request
+  /// whose deadline has passed when a worker forms its micro-batch is shed
+  /// with DeadlineExceeded instead of consuming inference time — bounded
+  /// degradation under overload. try_submit can override per request.
+  int64_t deadline_us = 0;
+  /// Fault-injection hook, consulted once per (config, task) group just
+  /// before its inference; anything it throws becomes that group's fault
+  /// (delivered on every member future, other groups unaffected). Lets tests
+  /// and bench_f6_runtime exercise the degradation paths deterministically.
+  std::function<void(const FaultSite&)> fault_injector;
 };
 
 /// Everything a client learns about one completed request.
@@ -64,10 +105,16 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Admission-controlled submit of one image [C, H, W]. Returns the future
-  /// for its result, or nullopt when the queue is full or the server is
-  /// shutting down (the rejection is counted — the caller sheds load).
+  /// for its result, or nullopt when the queue is full (rejected_queue_full)
+  /// or the server is shutting down (rejected_shutdown) — the caller sheds
+  /// load. Malformed requests fail fast here instead of inside a worker:
+  /// an image whose shape differs from framework.expected_input_shape() or a
+  /// (config, task) the framework has not prepared throws
+  /// std::invalid_argument (counted as requests_invalid). `deadline_us`
+  /// overrides RuntimeOptions::deadline_us for this request (0 = none).
   std::optional<std::future<InferenceResult>> try_submit(
-      Tensor image, const core::TaskHandle& task, core::ConfigKind config);
+      Tensor image, const core::TaskHandle& task, core::ConfigKind config,
+      std::optional<int64_t> deadline_us = std::nullopt);
 
   /// Graceful shutdown: stops admission, drains every queued request
   /// (all outstanding futures are fulfilled), joins the workers. Idempotent;
@@ -85,6 +132,8 @@ class InferenceServer {
     core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point admitted;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   void worker_loop(int64_t worker_index);

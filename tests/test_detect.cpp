@@ -82,6 +82,52 @@ TEST(Nms, ThresholdControlsAggressiveness) {
 
 TEST(Nms, EmptyInput) { EXPECT_TRUE(nms({}, 0.5f).empty()); }
 
+TEST(Nms, DeterministicUnderEqualConfidenceTies) {
+  // A chain of mutually overlapping equal-confidence detections: which ones
+  // survive greedy NMS depends entirely on the tie-break. The old
+  // confidence-only comparator left that to the (unstable) sort
+  // implementation; detection_order must make the survivor set independent
+  // of input order.
+  std::vector<Detection> dets;
+  for (int i = 0; i < 8; ++i) {
+    Detection d = det(box(5.0f + 1.0f * static_cast<float>(i), 5.0f, 4, 4),
+                      0.8f);
+    d.cell = i;
+    d.predicted_class = i % 3;
+    dets.push_back(d);
+  }
+  const auto baseline = nms(dets, 0.5f);
+  ASSERT_FALSE(baseline.empty());
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Detection> shuffled = dets;
+    rng.shuffle(shuffled);
+    const auto kept = nms(shuffled, 0.5f);
+    ASSERT_EQ(kept.size(), baseline.size());
+    for (size_t k = 0; k < kept.size(); ++k) {
+      EXPECT_EQ(kept[k].cell, baseline[k].cell);
+      EXPECT_FLOAT_EQ(kept[k].box.cx, baseline[k].box.cx);
+    }
+  }
+}
+
+TEST(Nms, DetectionOrderIsAStrictTotalOrderOnDistinctDetections) {
+  Detection a = det(box(5, 5, 4, 4), 0.8f);
+  a.predicted_class = 1;
+  a.cell = 0;
+  Detection b = a;
+  b.cell = 1;
+  // Identical keys except cell: exactly one direction orders first.
+  EXPECT_TRUE(detection_order(a, b));
+  EXPECT_FALSE(detection_order(b, a));
+  EXPECT_FALSE(detection_order(a, a));
+  // Higher confidence always ranks first, regardless of the tie-break keys.
+  Detection c = b;
+  c.confidence = 0.9f;
+  EXPECT_TRUE(detection_order(c, a));
+  EXPECT_FALSE(detection_order(a, c));
+}
+
 GroundTruthObject gt(BoxPx b, bool relevant) {
   GroundTruthObject g;
   g.box = b;
@@ -159,6 +205,30 @@ TEST(Metrics, EmptySceneConventions) {
   // No truth but spurious detections → zero precision.
   std::vector<std::vector<Detection>> spurious{{det(box(5, 5, 4, 4), 0.9f)}};
   EXPECT_FLOAT_EQ(evaluate(spurious, empty_truth).precision, 0.0f);
+}
+
+TEST(Metrics, PrCurveAgreesWithEvaluateAtTheOperatingPoint) {
+  // Mixed outcome scene: one true positive at IoU 0.6, one false positive,
+  // one missed object. evaluate() and pr_curve() run the same greedy
+  // matching, so the curve's final point (all detections admitted) must
+  // reproduce evaluate()'s operating-point precision/recall exactly.
+  std::vector<std::vector<Detection>> dets{
+      {det(box(5, 5, 4, 4), 0.9f), det(box(40, 40, 4, 4), 0.8f)}};
+  std::vector<std::vector<GroundTruthObject>> truth{
+      {gt(box(6, 5, 4, 4), true), gt(box(20, 20, 4, 4), true)}};
+  const EvalResult r = evaluate(dets, truth, 0.4f);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_positives, 1);
+  EXPECT_EQ(r.false_negatives, 1);
+  const auto curve = pr_curve(dets, truth, 0.4f);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_FLOAT_EQ(curve.back().precision, r.precision);
+  EXPECT_FLOAT_EQ(curve.back().recall, r.recall);
+  // Unmatched detections contribute IoU 0, not the iou_threshold search
+  // sentinel (the pr_curve side of the matcher used to record 0.4 here):
+  // mean IoU is exactly the one matched pair's IoU.
+  // TP boxes [3,7]x[3,7] vs [4,8]x[3,7]: inter 12, union 20 → 0.6.
+  EXPECT_NEAR(r.mean_iou, 0.6f, 1e-5f);
 }
 
 TEST(Metrics, SceneCountMismatchThrows) {

@@ -337,7 +337,10 @@ TEST_F(RuntimeServing, BackpressureRejectsWhenQueueFull) {
   }
   server.shutdown();
   EXPECT_GT(rejected, 0) << "queue of 2 should shed load at this rate";
-  EXPECT_EQ(server.metrics().counter("requests_rejected").value(), rejected);
+  // Backpressure rejections are specifically queue-full, not shutdown: the
+  // two causes are split so this test measures what it claims.
+  EXPECT_EQ(server.metrics().counter("rejected_queue_full").value(), rejected);
+  EXPECT_EQ(server.metrics().counter("rejected_shutdown").value(), 0);
   EXPECT_EQ(server.metrics().counter("requests_completed").value(), accepted);
   for (auto& f : futures) f.get();  // every accepted request completed
 }
@@ -350,6 +353,207 @@ TEST_F(RuntimeServing, SubmitAfterShutdownIsRejected) {
   const auto f = server.try_submit(eval_->scene(0).image, *task_,
                                    ConfigKind::kQuantizedMultiTask);
   EXPECT_FALSE(f.has_value());
+  // Counted as a shutdown rejection, not backpressure.
+  EXPECT_EQ(server.metrics().counter("rejected_shutdown").value(), 1);
+  EXPECT_EQ(server.metrics().counter("rejected_queue_full").value(), 0);
+}
+
+TEST_F(RuntimeServing, AdmissionRejectsMisshapedImage) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  InferenceServer server(*fw_, opts);
+  // Wrong spatial dims: must throw at admission with a clear message, not
+  // reach a worker (where stacking it with a well-shaped request would have
+  // crashed the process pre-fix).
+  try {
+    server.try_submit(Tensor({3, 12, 24}), *task_,
+                      ConfigKind::kQuantizedMultiTask);
+    FAIL() << "mis-shaped image must be rejected at admission";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shape"), std::string::npos) << what;
+    EXPECT_NE(what.find("[3, 12, 24]"), std::string::npos) << what;
+  }
+  // Wrong rank is also an admission failure.
+  EXPECT_THROW(server.try_submit(Tensor({24, 24}), *task_,
+                                 ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 2);
+  // The server keeps serving valid traffic afterwards.
+  auto f = server.try_submit(eval_->scene(0).image, *task_,
+                             ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f.has_value());
+  f->get();  // completes
+}
+
+TEST_F(RuntimeServing, AdmissionRejectsUnpreparedConfig) {
+  // A task that was defined but never distilled: the task-specific
+  // configuration cannot serve it, and admission must say so instead of a
+  // worker throwing mid-batch.
+  const TaskHandle undistilled = fw_->define_task(data::task_by_id(2));
+  RuntimeOptions opts;
+  opts.workers = 1;
+  InferenceServer server(*fw_, opts);
+  EXPECT_THROW(server.try_submit(eval_->scene(0).image, undistilled,
+                                 ConfigKind::kTaskSpecific),
+               std::invalid_argument);
+  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 1);
+  // The quantized configuration serves any defined task via KG matching.
+  auto f = server.try_submit(eval_->scene(0).image, undistilled,
+                             ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f.has_value());
+  f->get();
+}
+
+TEST_F(RuntimeServing, InjectedFaultFailsOnlyItsGroupAndServingContinues) {
+  // max_batch 1 → one request per group, so the injector can target request
+  // id 3 exactly. The faulted future must carry the exception; every other
+  // request — including ones submitted *after* the fault — must complete
+  // with results identical to the serial path, and the process must live.
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 64;
+  std::atomic<int64_t> injections{0};
+  opts.fault_injector = [&injections](const FaultSite& site) {
+    if (site.first_request_id == 3) {
+      injections.fetch_add(1);
+      throw std::runtime_error("injected inference fault");
+    }
+  };
+  InferenceServer server(*fw_, opts);
+
+  constexpr int kFirstWave = 8;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kFirstWave; ++i) {
+    auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  for (int i = 0; i < kFirstWave; ++i) {
+    if (i == 3) {
+      EXPECT_THROW(futures[static_cast<size_t>(i)].get(), std::runtime_error);
+    } else {
+      InferenceResult r = futures[static_cast<size_t>(i)].get();
+      const auto serial = fw_->detect(eval_->scene(i % eval_->size()).image,
+                                      *task_, ConfigKind::kQuantizedMultiTask);
+      expect_same_detections(r.detections, serial);
+    }
+  }
+
+  // Later requests on the same (still running) server complete normally.
+  for (int i = 0; i < 4; ++i) {
+    auto f = server.try_submit(eval_->scene(i).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.has_value());
+    InferenceResult r = f->get();
+    const auto serial = fw_->detect(eval_->scene(i).image, *task_,
+                                    ConfigKind::kQuantizedMultiTask);
+    expect_same_detections(r.detections, serial);
+  }
+  server.shutdown();
+
+  EXPECT_EQ(injections.load(), 1);
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 1);
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(),
+            kFirstWave - 1 + 4);
+  EXPECT_EQ(server.metrics().counter("requests_expired").value(), 0);
+}
+
+TEST_F(RuntimeServing, FaultInGroupedBatchFailsWholeGroupOnly) {
+  // One micro-batch mixing both configurations: the injector fails the
+  // quantized group; the task-specific group in the same batch succeeds.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.max_wait_us = 100000;  // keep the batch open until all 4 arrive
+  opts.queue_capacity = 64;
+  opts.fault_injector = [](const FaultSite& site) {
+    if (site.config == ConfigKind::kQuantizedMultiTask) {
+      throw std::runtime_error("injected quantized-path fault");
+    }
+  };
+  InferenceServer server(*fw_, opts);
+  std::vector<std::future<InferenceResult>> futures;
+  const std::vector<ConfigKind> configs{
+      ConfigKind::kQuantizedMultiTask, ConfigKind::kTaskSpecific,
+      ConfigKind::kQuantizedMultiTask, ConfigKind::kTaskSpecific};
+  for (size_t i = 0; i < configs.size(); ++i) {
+    auto f = server.try_submit(eval_->scene(static_cast<int64_t>(i)).image,
+                               *task_, configs[i]);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  server.shutdown();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i] == ConfigKind::kQuantizedMultiTask) {
+      EXPECT_THROW(futures[i].get(), std::runtime_error);
+    } else {
+      InferenceResult r = futures[i].get();
+      const auto serial =
+          fw_->detect(eval_->scene(static_cast<int64_t>(i)).image, *task_,
+                      configs[i]);
+      expect_same_detections(r.detections, serial);
+    }
+  }
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 2);
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(), 2);
+}
+
+TEST_F(RuntimeServing, ExpiredDeadlinesShedAtBatchFormation) {
+  // Stall the only worker on request 0 (which carries no deadline), queue
+  // two requests with a 2 ms deadline plus one with a generous per-request
+  // override, then release the worker well after the short deadlines passed:
+  // the two stale requests are shed with DeadlineExceeded, the others serve.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 64;
+  opts.deadline_us = 2000;  // default deadline for submissions below
+  std::atomic<bool> release{false};
+  opts.fault_injector = [&release](const FaultSite& site) {
+    if (site.first_request_id == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  InferenceServer server(*fw_, opts);
+
+  // Request 0: per-request override 0 = no deadline (stalls the worker).
+  auto f0 = server.try_submit(eval_->scene(0).image, *task_,
+                              ConfigKind::kQuantizedMultiTask,
+                              /*deadline_us=*/0);
+  ASSERT_TRUE(f0.has_value());
+  // Requests 1 and 2: default 2 ms deadline; expire while the worker stalls.
+  auto f1 = server.try_submit(eval_->scene(1).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  auto f2 = server.try_submit(eval_->scene(2).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  // Request 3: generous per-request override outlives the stall.
+  auto f3 = server.try_submit(eval_->scene(3).image, *task_,
+                              ConfigKind::kQuantizedMultiTask,
+                              /*deadline_us=*/60'000'000);
+  ASSERT_TRUE(f1.has_value() && f2.has_value() && f3.has_value());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // > 2 ms
+  release.store(true);
+  server.shutdown();
+
+  expect_same_detections(f0->get().detections,
+                         fw_->detect(eval_->scene(0).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+  EXPECT_THROW(f1->get(), DeadlineExceeded);
+  EXPECT_THROW(f2->get(), DeadlineExceeded);
+  expect_same_detections(f3->get().detections,
+                         fw_->detect(eval_->scene(3).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+  EXPECT_EQ(server.metrics().counter("requests_expired").value(), 2);
+  EXPECT_EQ(server.metrics().counter("requests_completed").value(), 2);
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 0);
 }
 
 TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
