@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "tensor/format.h"
+
 namespace itask::accel {
 
 std::string SimReport::to_table() const {
@@ -13,10 +15,9 @@ std::string SimReport::to_table() const {
                 "energy_uJ");
   os << line;
   for (const LayerTiming& l : layers) {
-    std::snprintf(line, sizeof(line), "%-24s %10.3f %10lld %8.1f %10.4f\n",
-                  l.name.c_str(), l.micros,
-                  static_cast<long long>(l.cycles), l.utilization * 100.0,
-                  l.dynamic_energy_uj);
+    std::snprintf(line, sizeof(line), "%-24s %10.3f %10s %8.1f %10.4f\n",
+                  l.name.c_str(), l.micros, fmt::i64(l.cycles).c_str(),
+                  l.utilization * 100.0, l.dynamic_energy_uj);
     os << line;
   }
   std::snprintf(line, sizeof(line),

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/profile.h"
+
 #if defined(__AVX512BW__)
 #include <immintrin.h>
 #endif
@@ -190,13 +192,22 @@ void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t npanels = (nc + kNR - 1) / kNR;
       tl_wpack.resize(static_cast<size_t>(npanels * kNR * plen));
-      // W is [n, k] row-major — the same rows-into-panels pack as A.
-      pack_rows(w.data(), k, jc, nc, pc, kc, kNR, tl_wpack.data());
+      {
+        // Profiling hooks at cache-block granularity (see tensor/profile.h):
+        // one relaxed atomic load per block when disabled.
+        ITASK_PROFILE_SCOPE(profile::Section::kInt8Pack);
+        // W is [n, k] row-major — the same rows-into-panels pack as A.
+        pack_rows(w.data(), k, jc, nc, pc, kc, kNR, tl_wpack.data());
+      }
       for (int64_t ic = 0; ic < m; ic += kMC) {
         const int64_t mc = std::min(kMC, m - ic);
         const int64_t mpanels = (mc + kMR - 1) / kMR;
         tl_apack.resize(static_cast<size_t>(mpanels * kMR * plen));
-        pack_rows(a.data(), k, ic, mc, pc, kc, kMR, tl_apack.data());
+        {
+          ITASK_PROFILE_SCOPE(profile::Section::kInt8Pack);
+          pack_rows(a.data(), k, ic, mc, pc, kc, kMR, tl_apack.data());
+        }
+        ITASK_PROFILE_SCOPE(profile::Section::kInt8Kernel);
         for (int64_t pi = 0; pi < mpanels; ++pi) {
           const int64_t i = ic + pi * kMR;
           const int64_t mr = std::min(kMR, m - i);
@@ -220,7 +231,11 @@ Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
   ITASK_CHECK(x.dim(x.ndim() - 1) == in, "qlinear_forward: trailing dim");
   const int64_t rows = x.numel() / in;
   const int64_t out = weight.out;
-  const std::vector<int8_t> qx = quantize_tensor(x, act);
+  std::vector<int8_t> qx;
+  {
+    ITASK_PROFILE_SCOPE(profile::Section::kInt8Quantize);
+    qx = quantize_tensor(x, act);
+  }
   std::vector<int32_t> acc(static_cast<size_t>(rows * out));
   if (static_cast<int64_t>(weight.row_sums.size()) == out) {
     int8_gemm_bt_packed(qx, act.zero_point, weight.data, weight.row_sums, acc,
@@ -239,6 +254,7 @@ Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
   out_shape.back() = out;
   Tensor y(std::move(out_shape));
   auto yd = y.data();
+  ITASK_PROFILE_SCOPE(profile::Section::kInt8Dequant);
   if (bias != nullptr) {
     auto bd = bias->data();
     for (int64_t r = 0; r < rows; ++r) {

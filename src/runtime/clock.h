@@ -1,0 +1,51 @@
+// Injectable time source for the serving runtime's request accounting.
+//
+// Every timestamp the server records — admission, batch pick-up, inference
+// start/end, deadlines — goes through one ClockFn returning monotonic
+// integer microseconds. Production uses steady_clock_us(); tests inject a
+// FakeClock so stage durations are exact numbers, not sleeps and
+// tolerances. Only request *accounting* is injectable: the queue's
+// micro-batch max_wait blocking stays on the real clock (a fake clock can't
+// wake a condition variable).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace itask::runtime {
+
+/// Monotonic microseconds. Must be safe to call from any thread.
+using ClockFn = std::function<int64_t()>;
+
+/// Production clock: std::chrono::steady_clock in integer microseconds.
+inline int64_t steady_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic manual clock for tests: time moves only when advance_us()
+/// is called. seq_cst so an advance in one thread is visible to a reader
+/// that was released by a later synchronizing action.
+class FakeClock {
+ public:
+  explicit FakeClock(int64_t start_us = 0) : now_us_(start_us) {}
+
+  int64_t now_us() const { return now_us_.load(std::memory_order_seq_cst); }
+  void advance_us(int64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_seq_cst);
+  }
+
+  /// Adapter for RuntimeOptions::clock_us. The FakeClock must outlive every
+  /// user of the returned function.
+  ClockFn fn() {
+    return [this] { return now_us(); };
+  }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace itask::runtime

@@ -1,0 +1,149 @@
+#include "runtime/exposition.h"
+
+#include <sstream>
+#include <utility>
+
+#include "tensor/format.h"
+#include "tensor/tensor.h"
+
+namespace itask::runtime {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+ExpositionData collect(const MetricsRegistry& metrics) {
+  ExpositionData data;
+  data.metrics = metrics.snapshot();
+  data.kernel = profile::snapshot();
+  return data;
+}
+
+std::string to_prometheus(const ExpositionData& data) {
+  std::ostringstream out;
+  for (const auto& [name, value] : data.metrics.counters) {
+    const std::string metric = "itask_" + sanitize(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << ' ' << fmt::i64(value) << '\n';
+  }
+  for (const auto& [name, snap] : data.metrics.histograms) {
+    const std::string metric = "itask_" + sanitize(name);
+    out << "# TYPE " << metric << " histogram\n";
+    int64_t cumulative = 0;
+    for (const Histogram::Bucket& b : snap.buckets) {
+      cumulative += b.count;
+      out << metric << "_bucket{le=\"" << fmt::g6(b.upper) << "\"} "
+          << fmt::i64(cumulative) << '\n';
+    }
+    out << metric << "_bucket{le=\"+Inf\"} " << fmt::i64(snap.count) << '\n';
+    out << metric << "_sum " << fmt::g6(snap.sum) << '\n';
+    out << metric << "_count " << fmt::i64(snap.count) << '\n';
+    out << metric << "_p50 " << fmt::g6(snap.p50) << '\n';
+    out << metric << "_p95 " << fmt::g6(snap.p95) << '\n';
+    out << metric << "_p99 " << fmt::g6(snap.p99) << '\n';
+  }
+  if (!data.kernel.empty()) {
+    out << "# TYPE itask_kernel_profile_calls counter\n";
+    for (const profile::SectionStats& s : data.kernel) {
+      out << "itask_kernel_profile_calls{section=\"" << s.name << "\"} "
+          << fmt::i64(s.calls) << '\n';
+    }
+    out << "# TYPE itask_kernel_profile_ns counter\n";
+    for (const profile::SectionStats& s : data.kernel) {
+      out << "itask_kernel_profile_ns{section=\"" << s.name << "\"} "
+          << fmt::i64(s.total_ns) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const ExpositionData& data) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < data.metrics.counters.size(); ++i) {
+    const auto& [name, value] = data.metrics.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << name
+        << "\": " << fmt::i64(value);
+  }
+  out << (data.metrics.counters.empty() ? "" : "\n  ") << "},\n"
+      << "  \"histograms\": {";
+  for (size_t i = 0; i < data.metrics.histograms.size(); ++i) {
+    const auto& [name, s] = data.metrics.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << fmt::i64(s.count) << ", \"sum\": " << fmt::g6(s.sum)
+        << ", \"mean\": " << fmt::g6(s.mean) << ", \"min\": " << fmt::g6(s.min)
+        << ", \"max\": " << fmt::g6(s.max) << ", \"p50\": " << fmt::g6(s.p50)
+        << ", \"p95\": " << fmt::g6(s.p95) << ", \"p99\": " << fmt::g6(s.p99)
+        << ", \"buckets\": [";
+    for (size_t b = 0; b < s.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << '[' << fmt::g6(s.buckets[b].upper) << ", "
+          << fmt::i64(s.buckets[b].count) << ']';
+    }
+    out << "]}";
+  }
+  out << (data.metrics.histograms.empty() ? "" : "\n  ") << "}";
+  if (!data.kernel.empty()) {
+    out << ",\n  \"kernel_profile\": [";
+    for (size_t i = 0; i < data.kernel.size(); ++i) {
+      const profile::SectionStats& s = data.kernel[i];
+      out << (i == 0 ? "" : ", ") << "{\"section\": \"" << s.name
+          << "\", \"calls\": " << fmt::i64(s.calls)
+          << ", \"total_ns\": " << fmt::i64(s.total_ns) << '}';
+    }
+    out << "]";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+PeriodicReporter::PeriodicReporter(const MetricsRegistry& metrics,
+                                   std::chrono::milliseconds interval,
+                                   Sink sink)
+    : metrics_(metrics), interval_(interval), sink_(std::move(sink)) {
+  ITASK_CHECK(interval_.count() > 0,
+              "PeriodicReporter: interval must be positive");
+  ITASK_CHECK(sink_ != nullptr, "PeriodicReporter: sink must be callable");
+  thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return;  // the first stop() owns the join
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicReporter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const bool stopping =
+        wake_.wait_for(lock, interval_, [this] { return stop_requested_; });
+    // Render without holding the lock: collect() takes registry/histogram
+    // locks of its own and the sink may be arbitrarily slow.
+    lock.unlock();
+    sink_(to_prometheus(collect(metrics_)));
+    lock.lock();
+    // When stopping, the render above ran *after* observing the stop flag,
+    // so it contains every record that happened-before stop() — the final
+    // report is flushed, never dropped, on shutdown.
+    if (stopping) return;
+  }
+}
+
+}  // namespace itask::runtime

@@ -1,0 +1,78 @@
+// Machine-readable exposition of a MetricsRegistry: Prometheus text format
+// and a JSON snapshot, plus an optional periodic reporter thread.
+//
+// collect() copies the registry (counters, per-histogram count/sum/quantiles
+// and non-empty buckets) together with the kernel-profiling sections from
+// tensor/profile.h — one struct behind both text formats, so a scrape and a
+// bench print can never disagree about what they saw. All formatting goes
+// through the shared fmt helpers (tensor/format.h); no printf specifier for
+// int64_t appears here or in the formats' consumers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "tensor/profile.h"
+
+namespace itask::runtime {
+
+/// Point-in-time data behind both text formats.
+struct ExpositionData {
+  RegistrySnapshot metrics;
+  /// Kernel profiling sections; empty unless profile::set_enabled(true) and
+  /// an instrumented kernel ran.
+  std::vector<profile::SectionStats> kernel;
+};
+
+ExpositionData collect(const MetricsRegistry& metrics);
+
+/// Prometheus text exposition format. Counters become `itask_<name>`
+/// counters; histograms become `itask_<name>` histogram families
+/// (cumulative `_bucket{le=…}` series ending in `+Inf`, `_sum`, `_count`)
+/// plus `_p50/_p95/_p99` gauges; kernel sections become
+/// `itask_kernel_profile_{calls,ns}{section=…}`.
+std::string to_prometheus(const ExpositionData& data);
+
+/// JSON object: {"counters": {…}, "histograms": {name: {count, sum, mean,
+/// min, max, p50, p95, p99, buckets: [[upper, count], …]}}, and
+/// "kernel_profile": [{section, calls, total_ns}, …] when profiling ran.
+std::string to_json(const ExpositionData& data);
+
+/// Background thread that renders to_prometheus(collect(metrics)) into
+/// `sink` every `interval`. stop() (also run by the destructor) wakes the
+/// thread, emits one final report so shutdown never loses the tail of a
+/// run, and joins — the drain the server's own shutdown sequencing relies
+/// on. The sink is only ever called from the reporter thread.
+class PeriodicReporter {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  PeriodicReporter(const MetricsRegistry& metrics,
+                   std::chrono::milliseconds interval, Sink sink);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Idempotent: first call flushes the final report and joins.
+  void stop();
+
+ private:
+  void loop();
+
+  const MetricsRegistry& metrics_;
+  std::chrono::milliseconds interval_;
+  Sink sink_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace itask::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "tensor/tensor.h"
@@ -20,10 +21,15 @@ Histogram::Histogram(double min_value, double max_value, double growth)
 }
 
 int64_t Histogram::bucket_of(double value) const {
-  if (value <= min_value_) return 0;
-  const auto i = static_cast<int64_t>(
-      std::log(value / min_value_) * inv_log_growth_);
-  return std::min(i, static_cast<int64_t>(buckets_.size()) - 1);
+  // The !(…) form sends NaN to bucket 0 instead of through std::log.
+  if (!(value > min_value_)) return 0;
+  const double index = std::log(value / min_value_) * inv_log_growth_;
+  const int64_t last = static_cast<int64_t>(buckets_.size()) - 1;
+  // Saturate while still a double: casting an out-of-range double (a sample
+  // far above the top bucket, or +inf) to int64_t is UB and indexed out of
+  // the bucket array before this guard.
+  if (index >= static_cast<double>(last)) return last;
+  return static_cast<int64_t>(index);
 }
 
 double Histogram::bucket_upper(int64_t i) const {
@@ -31,6 +37,11 @@ double Histogram::bucket_upper(int64_t i) const {
 }
 
 void Histogram::record(double value) {
+  // Clamp non-finite and negative samples up front: NaN → 0, ±inf → the
+  // finite extremes. Keeps sum/mean/min/max finite and the snapshot
+  // invariants (min <= mean <= max) intact whatever a caller feeds in.
+  if (std::isnan(value)) value = 0.0;
+  value = std::clamp(value, 0.0, std::numeric_limits<double>::max());
   std::lock_guard<std::mutex> lock(mutex_);
   ++buckets_[static_cast<size_t>(bucket_of(value))];
   sum_ += value;
@@ -59,13 +70,20 @@ Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot s;
   s.count = count_;
-  if (count_ == 0) return s;
+  if (count_ == 0) return s;  // all-zero, nothing bucket-derived
+  s.sum = sum_;
   s.mean = sum_ / static_cast<double>(count_);
   s.min = min_seen_;
   s.max = max_seen_;
   s.p50 = quantile_locked(0.50, count_);
   s.p95 = quantile_locked(0.95, count_);
   s.p99 = quantile_locked(0.99, count_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) {
+      s.buckets.push_back(
+          Bucket{bucket_upper(static_cast<int64_t>(i)), buckets_[i]});
+    }
+  }
   return s;
 }
 
@@ -81,6 +99,20 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
 }
 
 std::string MetricsRegistry::report() const {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace itask::runtime {
@@ -36,20 +37,35 @@ class Histogram {
   explicit Histogram(double min_value = 1.0, double max_value = 1e8,
                      double growth = 1.25);
 
-  /// Records one sample (values below min_value clamp into bucket 0).
+  /// Records one sample. Values below min_value clamp into bucket 0; values
+  /// above the top bucket saturate into the last bucket (never index out of
+  /// range). Non-finite input is clamped too — NaN records as 0, ±inf as the
+  /// extreme finite double — so one bad sample can't poison mean/min/max.
   void record(double value);
+
+  struct Bucket {
+    double upper = 0.0;  // exclusive upper bound of the bucket
+    int64_t count = 0;
+  };
 
   struct Snapshot {
     int64_t count = 0;
+    double sum = 0.0;
     double mean = 0.0;
     double min = 0.0;
     double max = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Non-empty buckets in ascending upper-bound order. Invariant (taken
+    /// under one lock, asserted by the multi-producer consistency test):
+    /// count == Σ buckets[i].count, and min <= mean <= max when count > 0.
+    std::vector<Bucket> buckets;
   };
 
-  /// Consistent point-in-time view (count/mean exact; quantiles bucketed).
+  /// Consistent point-in-time view (count/sum/mean/buckets exact and
+  /// mutually consistent; quantiles bucketed). An empty histogram reports
+  /// all-zero fields, never a bucket bound or NaN.
   Snapshot snapshot() const;
 
  private:
@@ -69,6 +85,15 @@ class Histogram {
   double max_seen_ = 0.0;
 };
 
+/// Point-in-time copy of a whole registry, in name order — the input to the
+/// exposition formats (runtime/exposition.h). Counters and each histogram
+/// are individually consistent; the registry is read under one lock so the
+/// name set is a single point in time.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
 /// Named metrics for one server instance. counter()/histogram() create on
 /// first use and return stable references usable without further locking.
 class MetricsRegistry {
@@ -78,6 +103,9 @@ class MetricsRegistry {
 
   /// Formatted multi-line report (counters, then histogram quantiles).
   std::string report() const;
+
+  /// Machine-readable copy of every metric (see RegistrySnapshot).
+  RegistrySnapshot snapshot() const;
 
  private:
   mutable std::mutex mutex_;

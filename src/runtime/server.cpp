@@ -1,24 +1,19 @@
 #include "runtime/server.h"
 
-#include <chrono>
+#include <algorithm>
 #include <utility>
 
+#include "tensor/format.h"
+
 namespace itask::runtime {
-
-namespace {
-
-double elapsed_us(std::chrono::steady_clock::time_point from,
-                  std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double, std::micro>(to - from).count();
-}
-
-}  // namespace
 
 InferenceServer::InferenceServer(const core::Framework& framework,
                                  RuntimeOptions options)
     : framework_(framework),
       options_(options),
-      queue_(options.queue_capacity) {
+      clock_(options_.clock_us ? options_.clock_us : ClockFn(steady_clock_us)),
+      queue_(options.queue_capacity),
+      stages_(metrics_) {
   ITASK_CHECK(options_.workers >= 1, "InferenceServer: workers must be >= 1");
   ITASK_CHECK(options_.max_batch >= 1,
               "InferenceServer: max_batch must be >= 1");
@@ -68,11 +63,9 @@ std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
   pending.image = std::move(image);
   pending.task = &task;
   pending.config = config;
-  pending.admitted = std::chrono::steady_clock::now();
+  pending.admitted_us = clock_();
   if (effective_deadline_us > 0) {
-    pending.has_deadline = true;
-    pending.deadline =
-        pending.admitted + std::chrono::microseconds(effective_deadline_us);
+    pending.deadline_us = pending.admitted_us + effective_deadline_us;
   }
   std::future<InferenceResult> future = pending.promise.get_future();
   switch (queue_.push(std::move(pending))) {
@@ -111,7 +104,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
     std::vector<Pending> batch = queue_.pop_batch(
         options_.max_batch, std::chrono::microseconds(options_.max_wait_us));
     if (batch.empty()) return;  // closed and drained
-    const auto picked = std::chrono::steady_clock::now();
+    const int64_t picked_us = clock_();
     batches.increment();
     batch_h.record(static_cast<double>(batch.size()));
 
@@ -122,12 +115,22 @@ void InferenceServer::worker_loop(int64_t worker_index) {
     // serving ever-staler work.
     for (size_t i = 0; i < batch.size(); ++i) {
       Pending& p = batch[i];
-      if (!p.has_deadline || picked < p.deadline) continue;
+      if (p.deadline_us == 0 || picked_us < p.deadline_us) continue;
       expired.increment();
-      p.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
-          "request " + std::to_string(p.id) + " expired after " +
-          std::to_string(static_cast<int64_t>(elapsed_us(p.admitted, picked))) +
-          " us in queue")));
+      // The wait is reported as what the queue-wait stage records: the
+      // non-negative integer-µs span (no double→int truncation, no
+      // negative value if clock readings ever raced).
+      const int64_t waited_us = std::max<int64_t>(0, picked_us - p.admitted_us);
+      p.promise.set_exception(std::make_exception_ptr(
+          DeadlineExceeded("request " + std::to_string(p.id) +
+                           " expired after " + fmt::i64(waited_us) +
+                           " us in queue")));
+      // Expired requests never reach inference: account their queue-wait
+      // stage (the only real span), not a garbage end-to-end latency.
+      StageTimeline t;
+      t.admitted_us = p.admitted_us;
+      t.picked_us = picked_us;
+      stages_.expired(t);
       done[i] = 1;
     }
 
@@ -148,7 +151,8 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       // fault_injector, infer_batch) fails exactly this group's futures; the
       // worker keeps draining, other groups and later batches are untouched.
       std::vector<std::vector<detect::Detection>> detections;
-      std::chrono::steady_clock::time_point infer_start, infer_end;
+      int64_t infer_start_us = 0;
+      int64_t infer_end_us = 0;
       try {
         if (options_.fault_injector) {
           FaultSite site;
@@ -165,34 +169,48 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         for (size_t g = 0; g < group.size(); ++g) {
           stacked.set_index(static_cast<int64_t>(g), batch[group[g]].image);
         }
-        infer_start = std::chrono::steady_clock::now();
+        infer_start_us = clock_();
         detections =
             framework_.infer_batch(stacked, *batch[i].task, batch[i].config);
-        infer_end = std::chrono::steady_clock::now();
+        infer_end_us = clock_();
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
         for (const size_t member : group) {
-          batch[member].promise.set_exception(error);
+          Pending& p = batch[member];
+          p.promise.set_exception(error);
           failed.increment();
+          // The fault hit somewhere in batch formation or inference, so the
+          // queue-wait span is the only one known to be real.
+          StageTimeline t;
+          t.admitted_us = p.admitted_us;
+          t.picked_us = picked_us;
+          stages_.failed(t);
           done[member] = 1;
         }
         continue;
       }
-      const double group_infer_us = elapsed_us(infer_start, infer_end);
 
       for (size_t g = 0; g < group.size(); ++g) {
         Pending& p = batch[group[g]];
+        StageTimeline t;
+        t.admitted_us = p.admitted_us;
+        t.picked_us = picked_us;
+        t.infer_start_us = infer_start_us;
+        t.infer_end_us = infer_end_us;
         InferenceResult result;
         result.request_id = p.id;
         result.detections = std::move(detections[g]);
         result.batch_size = static_cast<int64_t>(batch.size());
         result.worker = worker_index;
-        result.queue_us = elapsed_us(p.admitted, picked);
-        result.infer_us = group_infer_us;
-        result.total_us = elapsed_us(p.admitted, infer_end);
+        result.queue_us = span_us(t.admitted_us, t.picked_us);
+        result.batch_formation_us = span_us(t.picked_us, t.infer_start_us);
+        result.infer_us = span_us(t.infer_start_us, t.infer_end_us);
+        result.total_us = span_us(t.admitted_us, t.infer_end_us);
+        result.timeline = t;
         queue_h.record(result.queue_us);
-        infer_h.record(group_infer_us);
+        infer_h.record(result.infer_us);
         total_h.record(result.total_us);
+        stages_.completed(t);
         completed.increment();
         p.promise.set_value(std::move(result));
         done[group[g]] = 1;

@@ -37,8 +37,10 @@
 #include <vector>
 
 #include "core/itask.h"
+#include "runtime/clock.h"
 #include "runtime/metrics.h"
 #include "runtime/queue.h"
+#include "runtime/trace.h"
 
 namespace itask::runtime {
 
@@ -80,17 +82,26 @@ struct RuntimeOptions {
   /// (delivered on every member future, other groups unaffected). Lets tests
   /// and bench_f6_runtime exercise the degradation paths deterministically.
   std::function<void(const FaultSite&)> fault_injector;
+  /// Time source for request accounting — admission/pick/infer timestamps,
+  /// stage histograms, deadlines. Defaults to steady_clock_us; tests inject
+  /// FakeClock::fn() for exact stage durations. Micro-batch max_wait
+  /// blocking in the queue stays on the real clock regardless.
+  ClockFn clock_us;
 };
 
-/// Everything a client learns about one completed request.
+/// Everything a client learns about one completed request. The stage spans
+/// partition the request's life (queue + batch-formation + infer == total,
+/// up to the non-negative clamp) and mirror what the stage histograms saw.
 struct InferenceResult {
   int64_t request_id = -1;
   std::vector<detect::Detection> detections;
   int64_t batch_size = 0;   // size of the micro-batch this request rode in
   int64_t worker = -1;      // which worker served it
   double queue_us = 0.0;    // admission → picked into a batch
+  double batch_formation_us = 0.0;  // picked → its group's forward began
   double infer_us = 0.0;    // model forward + decode for its group
   double total_us = 0.0;    // admission → result ready
+  StageTimeline timeline;   // the raw clock readings behind the spans
 };
 
 /// A serving engine over a *prepared* core::Framework deployment. The
@@ -131,17 +142,18 @@ class InferenceServer {
     const core::TaskHandle* task = nullptr;
     core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
     std::promise<InferenceResult> promise;
-    std::chrono::steady_clock::time_point admitted;
-    bool has_deadline = false;
-    std::chrono::steady_clock::time_point deadline;
+    int64_t admitted_us = 0;  // clock_us() at admission
+    int64_t deadline_us = 0;  // absolute clock_us() deadline; 0 = none
   };
 
   void worker_loop(int64_t worker_index);
 
   const core::Framework& framework_;
   RuntimeOptions options_;
+  ClockFn clock_;
   BoundedQueue<Pending> queue_;
   MetricsRegistry metrics_;
+  StageRecorder stages_;
   std::atomic<int64_t> next_id_{0};
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

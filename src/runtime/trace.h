@@ -1,0 +1,62 @@
+// Per-request stage timeline for the serving runtime.
+//
+// A request's lifecycle is a fixed sequence of spans:
+//
+//   admitted ──queue-wait──▶ picked ──batch-formation──▶ infer-start
+//            ──infer──▶ infer-end, terminal ∈ {completed, failed, expired}
+//
+// The span recorder turns the four clock readings into per-stage durations
+// and feeds each stage's own Histogram in the MetricsRegistry
+// (stage_queue_wait_us / stage_batch_formation_us / stage_infer_us /
+// stage_total_us), which is what bench_f6_runtime's per-stage latency
+// breakdown and the exposition formats read. Terminal kind decides which
+// spans are real: an expired or failed request never finished inference, so
+// only its queue-wait is recorded — not a garbage end-to-end latency.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/metrics.h"
+
+namespace itask::runtime {
+
+enum class Stage { kQueueWait, kBatchFormation, kInfer, kTotal };
+
+/// Histogram name for a stage ("stage_queue_wait_us", …).
+const char* stage_histogram_name(Stage s);
+
+/// Raw clock readings (injectable clock, µs) for one request's lifecycle.
+struct StageTimeline {
+  int64_t admitted_us = 0;     // try_submit accepted the request
+  int64_t picked_us = 0;       // a worker popped it into a micro-batch
+  int64_t infer_start_us = 0;  // its (config, task) group's forward began
+  int64_t infer_end_us = 0;    // forward + decode returned
+};
+
+/// Non-negative span in µs: clock readings taken on different threads are
+/// ordered by happens-before, but a defensive clamp turns any residual
+/// skew/reordering into 0 instead of a negative duration corrupting the
+/// histograms.
+double span_us(int64_t from_us, int64_t to_us);
+
+/// Feeds stage durations into the registry's stage histograms.
+class StageRecorder {
+ public:
+  explicit StageRecorder(MetricsRegistry& metrics);
+
+  /// All four spans are real.
+  void completed(const StageTimeline& t);
+  /// Fault during batch formation or inference: queue-wait is the only
+  /// trustworthy span (infer_start/infer_end may never have been taken).
+  void failed(const StageTimeline& t);
+  /// Shed at batch formation: records the queue-wait stage only.
+  void expired(const StageTimeline& t);
+
+ private:
+  Histogram& queue_wait_;
+  Histogram& batch_formation_;
+  Histogram& infer_;
+  Histogram& total_;
+};
+
+}  // namespace itask::runtime

@@ -1,0 +1,38 @@
+#include "tensor/format.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace itask::fmt {
+
+std::string i64(int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string f64(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string g6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, int width) {
+  const auto w = static_cast<size_t>(width < 0 ? 0 : width);
+  if (s.size() >= w) return s;
+  return std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, int width) {
+  const auto w = static_cast<size_t>(width < 0 ? 0 : width);
+  if (s.size() >= w) return s;
+  return s + std::string(w - s.size(), ' ');
+}
+
+}  // namespace itask::fmt

@@ -1,0 +1,29 @@
+// Locale-independent numeric formatting shared by the table printers
+// (accel/report) and the metrics exposition module (runtime/exposition).
+//
+// GCC 12 ships no <format>, and printf-family formatting of int64_t is a
+// portability trap: "%lld" is wrong for int64_t on LP64 (long) and "%ld" is
+// wrong on LLP64 (long long). These helpers do the PRId64 dance exactly
+// once, so call sites stay -Wformat/-Werror=format clean on both ABIs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace itask::fmt {
+
+/// int64_t as decimal, portably ("%" PRId64 under the hood).
+std::string i64(int64_t v);
+
+/// Fixed-point with `precision` fractional digits (f64(1.5, 3) == "1.500").
+std::string f64(double v, int precision);
+
+/// Shortest readable form ("%.6g") — Prometheus/JSON sample values.
+std::string g6(double v);
+
+/// Right-aligns `s` to `width` columns with spaces; longer strings pass
+/// through untouched. pad_right left-aligns.
+std::string pad_left(const std::string& s, int width);
+std::string pad_right(const std::string& s, int width);
+
+}  // namespace itask::fmt

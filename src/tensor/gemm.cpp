@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "tensor/profile.h"
+
 namespace itask::gemm {
 
 namespace {
@@ -159,12 +161,22 @@ void gemm_driver(const float* a, ALayout alay, const float* b, BLayout blay,
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t npanels = (nc + kNR - 1) / kNR;
       tl_bpack.resize(static_cast<size_t>(npanels * kNR * kc));
-      pack_b(b, blay, ldb, pc, kc, jc, nc, tl_bpack.data());
+      {
+        // Profiling hooks sit at cache-block granularity: one relaxed
+        // atomic load per block when disabled, never inside the micro-
+        // kernel loop.
+        ITASK_PROFILE_SCOPE(profile::Section::kGemmPack);
+        pack_b(b, blay, ldb, pc, kc, jc, nc, tl_bpack.data());
+      }
       for (int64_t ic = 0; ic < m; ic += kMC) {
         const int64_t mc = std::min(kMC, m - ic);
         const int64_t mpanels = (mc + kMR - 1) / kMR;
         tl_apack.resize(static_cast<size_t>(mpanels * kMR * kc));
-        pack_a(a, alay, lda, ic, mc, pc, kc, tl_apack.data());
+        {
+          ITASK_PROFILE_SCOPE(profile::Section::kGemmPack);
+          pack_a(a, alay, lda, ic, mc, pc, kc, tl_apack.data());
+        }
+        ITASK_PROFILE_SCOPE(profile::Section::kGemmKernel);
         for (int64_t pi = 0; pi < mpanels; ++pi) {
           const int64_t i = ic + pi * kMR;
           const int64_t mr = std::min(kMR, m - i);

@@ -11,14 +11,23 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/itask.h"
+#include "runtime/clock.h"
+#include "runtime/exposition.h"
 #include "runtime/metrics.h"
 #include "runtime/queue.h"
 #include "runtime/server.h"
+#include "runtime/trace.h"
+#include "tensor/gemm.h"
+#include "tensor/profile.h"
 
 namespace itask::runtime {
 namespace {
@@ -160,7 +169,246 @@ TEST(Metrics, EmptyHistogramSnapshotIsZero) {
   Histogram h;
   const auto s = h.snapshot();
   EXPECT_EQ(s.count, 0);
+  // Every field is exactly zero — never NaN (0/0 mean), never a bucket
+  // bound leaking out of an empty histogram.
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
   EXPECT_EQ(s.p99, 0.0);
+  EXPECT_TRUE(s.buckets.empty());
+}
+
+TEST(Metrics, SingleSampleCollapsesQuantiles) {
+  Histogram h;
+  h.record(137.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.min, 137.0);
+  EXPECT_EQ(s.max, 137.0);
+  EXPECT_EQ(s.mean, 137.0);
+  // One sample: every quantile IS that sample (clamped by observed
+  // min/max), not the bucket's upper bound.
+  EXPECT_EQ(s.p50, 137.0);
+  EXPECT_EQ(s.p95, 137.0);
+  EXPECT_EQ(s.p99, 137.0);
+  ASSERT_EQ(s.buckets.size(), 1u);
+  EXPECT_EQ(s.buckets[0].count, 1);
+}
+
+TEST(Metrics, PathologicalSamplesSaturateWithoutOverflow) {
+  // Samples far above the top bucket (or non-finite) must saturate into the
+  // last bucket — never cast an out-of-range double to an index — and must
+  // keep every snapshot field finite.
+  Histogram h;  // default top bucket ~1e8
+  h.record(1e30);
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());  // clamps to 0
+  h.record(std::numeric_limits<double>::quiet_NaN());  // records as 0
+  h.record(50.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 5);
+  int64_t bucket_total = 0;
+  for (const auto& b : s.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, std::numeric_limits<double>::max());  // +inf clamped
+  EXPECT_TRUE(std::isfinite(s.sum));
+  EXPECT_TRUE(std::isfinite(s.mean));
+  EXPECT_TRUE(std::isfinite(s.p50));
+  EXPECT_TRUE(std::isfinite(s.p95));
+  EXPECT_TRUE(std::isfinite(s.p99));
+  // Both oversized samples landed in the saturation bucket, whose bound is
+  // near the configured max_value — not at 1e30.
+  EXPECT_EQ(s.buckets.back().count, 2);
+  EXPECT_LT(s.buckets.back().upper, 1e9);
+}
+
+TEST(Metrics, SnapshotConsistentUnderConcurrentRecords) {
+  // Multi-producer record() racing snapshot(): every snapshot must be an
+  // internally consistent point in time — count == Σ bucket counts and
+  // min <= mean <= max — and the final count must equal what was recorded.
+  // Run under -DITASK_SANITIZE=thread in CI.
+  Histogram h;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, &running, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.record(static_cast<double>((w * kPerWriter + i) % 977) + 0.5);
+      }
+      running.fetch_sub(1);
+    });
+  }
+  while (running.load() > 0) {
+    const auto s = h.snapshot();
+    int64_t bucket_total = 0;
+    for (const auto& b : s.buckets) bucket_total += b.count;
+    ASSERT_EQ(bucket_total, s.count);
+    if (s.count > 0) {
+      ASSERT_LE(s.min, s.mean);
+      ASSERT_LE(s.mean, s.max);
+    }
+  }
+  for (auto& t : writers) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kWriters * kPerWriter);
+  int64_t bucket_total = 0;
+  for (const auto& b : s.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(Metrics, RegistrySnapshotIsOrderedAndComplete) {
+  MetricsRegistry m;
+  m.counter("b_counter").increment(2);
+  m.counter("a_counter").increment(1);
+  m.histogram("lat").record(10.0);
+  const RegistrySnapshot s = m.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a_counter");  // name order, stable output
+  EXPECT_EQ(s.counters[0].second, 1);
+  EXPECT_EQ(s.counters[1].first, "b_counter");
+  EXPECT_EQ(s.counters[1].second, 2);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].first, "lat");
+  EXPECT_EQ(s.histograms[0].second.count, 1);
+}
+
+// ----------------------------------------------------- stage trace units ----
+
+TEST(StageTrace, SpanClampsNegativeDurations) {
+  EXPECT_EQ(span_us(50, 100), 50.0);
+  EXPECT_EQ(span_us(100, 100), 0.0);
+  // Defensive clamp: skewed/reordered clock readings become 0, never a
+  // negative duration poisoning a histogram.
+  EXPECT_EQ(span_us(100, 50), 0.0);
+}
+
+TEST(StageTrace, StageHistogramNamesAreStable) {
+  EXPECT_STREQ(stage_histogram_name(Stage::kQueueWait), "stage_queue_wait_us");
+  EXPECT_STREQ(stage_histogram_name(Stage::kBatchFormation),
+               "stage_batch_formation_us");
+  EXPECT_STREQ(stage_histogram_name(Stage::kInfer), "stage_infer_us");
+  EXPECT_STREQ(stage_histogram_name(Stage::kTotal), "stage_total_us");
+}
+
+TEST(StageTrace, TerminalKindDecidesWhichStagesRecord) {
+  MetricsRegistry m;
+  StageRecorder rec(m);
+  StageTimeline t;
+  t.admitted_us = 100;
+  t.picked_us = 350;
+  t.infer_start_us = 360;
+  t.infer_end_us = 400;
+  rec.completed(t);
+  rec.failed(t);
+  rec.expired(t);
+  // failed/expired requests never finished inference: they contribute to
+  // queue-wait only, so the infer/total histograms hold true latencies.
+  EXPECT_EQ(m.histogram("stage_queue_wait_us").snapshot().count, 3);
+  EXPECT_EQ(m.histogram("stage_batch_formation_us").snapshot().count, 1);
+  EXPECT_EQ(m.histogram("stage_infer_us").snapshot().count, 1);
+  EXPECT_EQ(m.histogram("stage_total_us").snapshot().count, 1);
+  EXPECT_EQ(m.histogram("stage_queue_wait_us").snapshot().max, 250.0);
+  EXPECT_EQ(m.histogram("stage_total_us").snapshot().max, 300.0);
+}
+
+// ----------------------------------------------------------- exposition ----
+
+TEST(Exposition, PrometheusGoldenRender) {
+  profile::reset();  // no kernel block: snapshot must be clean of other tests
+  MetricsRegistry m;
+  m.counter("bad-name").increment(1);  // sanitized to bad_name
+  m.counter("batches").increment(2);
+  m.histogram("lat").record(2.0);  // bucket 3 of growth 1.25: upper 2.44141
+  const std::string expected =
+      "# TYPE itask_bad_name counter\n"
+      "itask_bad_name 1\n"
+      "# TYPE itask_batches counter\n"
+      "itask_batches 2\n"
+      "# TYPE itask_lat histogram\n"
+      "itask_lat_bucket{le=\"2.44141\"} 1\n"
+      "itask_lat_bucket{le=\"+Inf\"} 1\n"
+      "itask_lat_sum 2\n"
+      "itask_lat_count 1\n"
+      "itask_lat_p50 2\n"
+      "itask_lat_p95 2\n"
+      "itask_lat_p99 2\n";
+  EXPECT_EQ(to_prometheus(collect(m)), expected);
+}
+
+TEST(Exposition, JsonSnapshotStructure) {
+  profile::reset();
+  MetricsRegistry m;
+  m.counter("requests_completed").increment(3);
+  m.histogram("lat").record(2.0);
+  const std::string json = to_json(collect(m));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"requests_completed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [[2.44141, 1]]"), std::string::npos);
+  // Hooks off ⇒ no kernel_profile block at all.
+  EXPECT_EQ(json.find("kernel_profile"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+}
+
+TEST(Exposition, KernelSectionsAppearOnlyWhenEnabled) {
+  profile::reset();
+  MetricsRegistry m;
+  const float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float b[4] = {5.0f, 6.0f, 7.0f, 8.0f};
+  float c[4] = {};
+  gemm::gemm_bt(a, b, c, 2, 2, 2);
+  EXPECT_TRUE(profile::snapshot().empty());  // hooks off: nothing recorded
+  profile::set_enabled(true);
+  gemm::gemm_bt(a, b, c, 2, 2, 2);
+  profile::set_enabled(false);
+  const std::string text = to_prometheus(collect(m));
+  EXPECT_NE(text.find("itask_kernel_profile_calls{section=\"gemm_pack\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("itask_kernel_profile_calls{section=\"gemm_kernel\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("itask_kernel_profile_ns{section=\"gemm_kernel\"}"),
+            std::string::npos);
+  profile::reset();
+  EXPECT_TRUE(profile::snapshot().empty());
+}
+
+TEST(Exposition, PeriodicReporterFlushesFinalReportOnStop) {
+  profile::reset();
+  MetricsRegistry m;
+  m.counter("x").increment(5);
+  std::mutex mu;
+  std::vector<std::string> renders;
+  PeriodicReporter reporter(m, std::chrono::milliseconds(5),
+                            [&](const std::string& s) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              renders.push_back(s);
+                            });
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  m.counter("x").increment(2);  // happens-before stop(): must reach the sink
+  reporter.stop();
+  reporter.stop();  // idempotent
+  ASSERT_FALSE(renders.empty());
+  // stop() renders once more *after* observing the stop flag, so the last
+  // report always contains every record that happened before stop().
+  EXPECT_NE(renders.back().find("itask_x 7"), std::string::npos);
+  const size_t after_stop = renders.size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  EXPECT_EQ(renders.size(), after_stop);  // thread is really gone
+}
+
+TEST(Exposition, ReporterValidatesArguments) {
+  MetricsRegistry m;
+  EXPECT_THROW(
+      PeriodicReporter(m, std::chrono::milliseconds(0), [](const std::string&) {}),
+      std::invalid_argument);
+  EXPECT_THROW(PeriodicReporter(m, std::chrono::milliseconds(5), nullptr),
+               std::invalid_argument);
 }
 
 TEST(Metrics, RegistryReturnsStableNamedInstances) {
@@ -554,6 +802,124 @@ TEST_F(RuntimeServing, ExpiredDeadlinesShedAtBatchFormation) {
   EXPECT_EQ(server.metrics().counter("requests_expired").value(), 2);
   EXPECT_EQ(server.metrics().counter("requests_completed").value(), 2);
   EXPECT_EQ(server.metrics().counter("requests_failed").value(), 0);
+  // Expired requests record their (real) queue-wait stage and nothing else:
+  // 4 queue-wait samples (2 completed + 2 expired), but only the 2 completed
+  // requests reach the infer/total stage histograms.
+  EXPECT_EQ(server.metrics()
+                .histogram(stage_histogram_name(Stage::kQueueWait))
+                .snapshot()
+                .count,
+            4);
+  EXPECT_EQ(server.metrics()
+                .histogram(stage_histogram_name(Stage::kInfer))
+                .snapshot()
+                .count,
+            2);
+  EXPECT_EQ(server.metrics()
+                .histogram(stage_histogram_name(Stage::kTotal))
+                .snapshot()
+                .count,
+            2);
+}
+
+TEST_F(RuntimeServing, FakeClockMakesStageTimelineExact) {
+  // With an injected FakeClock every stage duration is an exact number, not
+  // a sleep plus tolerance. One worker, batch size 1: request 0 stalls the
+  // worker (gated injector) while we advance the clock around request 1's
+  // admission, then request 1's own injector advances the clock between
+  // batch formation and inference start.
+  FakeClock clock(1000);
+  std::atomic<bool> release{false};
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 8;
+  opts.clock_us = clock.fn();
+  opts.fault_injector = [&release, &clock](const FaultSite& site) {
+    if (site.first_request_id == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else if (site.first_request_id == 1) {
+      clock.advance_us(40);  // "batch formation took 40 us"
+    }
+  };
+  InferenceServer server(*fw_, opts);
+
+  auto f0 = server.try_submit(eval_->scene(0).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f0.has_value());
+  clock.advance_us(100);  // request 1 admitted at t=1100
+  auto f1 = server.try_submit(eval_->scene(1).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f1.has_value());
+  clock.advance_us(250);  // t=1350 when the stalled worker resumes
+  release.store(true);
+  server.shutdown();
+
+  // Request 1 was picked at exactly t=1350 (the worker was blocked in
+  // request 0's injector until after the last main-thread advance), its
+  // injector advanced the clock 40 us, and inference itself advanced it 0.
+  const InferenceResult r1 = f1->get();
+  EXPECT_EQ(r1.timeline.admitted_us, 1100);
+  EXPECT_EQ(r1.timeline.picked_us, 1350);
+  EXPECT_EQ(r1.timeline.infer_start_us, 1390);
+  EXPECT_EQ(r1.timeline.infer_end_us, 1390);
+  EXPECT_EQ(r1.queue_us, 250.0);
+  EXPECT_EQ(r1.batch_formation_us, 40.0);
+  EXPECT_EQ(r1.infer_us, 0.0);
+  EXPECT_EQ(r1.total_us, 290.0);
+  EXPECT_EQ(f0->get().request_id, 0);  // request 0 completed too
+
+  // Both requests fed the stage histograms; no clock advance happened
+  // during either inference, so the infer stage saw exactly {0, 0}.
+  const auto infer_snap = server.metrics()
+                              .histogram(stage_histogram_name(Stage::kInfer))
+                              .snapshot();
+  EXPECT_EQ(infer_snap.count, 2);
+  EXPECT_EQ(infer_snap.max, 0.0);
+  EXPECT_EQ(server.metrics()
+                .histogram(stage_histogram_name(Stage::kTotal))
+                .snapshot()
+                .count,
+            2);
+}
+
+TEST_F(RuntimeServing, ProfilingHooksAreTransparent) {
+  // The kernel profiling hooks must be invisible when disabled (no section
+  // recorded anywhere) and must not perturb results when enabled: the same
+  // inputs produce element-wise identical detections hooks-off and hooks-on.
+  Tensor images({4, 3, 24, 24});
+  for (int64_t i = 0; i < 4; ++i) {
+    images.set_index(i, eval_->scene(i).image);
+  }
+  profile::reset();
+  ASSERT_FALSE(profile::enabled());
+  const auto off =
+      fw_->infer_batch(images, *task_, ConfigKind::kQuantizedMultiTask);
+  EXPECT_TRUE(profile::snapshot().empty());
+
+  profile::set_enabled(true);
+  const auto on =
+      fw_->infer_batch(images, *task_, ConfigKind::kQuantizedMultiTask);
+  profile::set_enabled(false);
+  const auto sections = profile::snapshot();
+  ASSERT_FALSE(sections.empty());
+  bool saw_int8_kernel = false;
+  for (const auto& s : sections) {
+    EXPECT_GT(s.calls, 0);
+    EXPECT_GE(s.total_ns, 0);
+    if (std::string(s.name) == "int8_kernel") saw_int8_kernel = true;
+  }
+  EXPECT_TRUE(saw_int8_kernel);  // the quantized config runs the int8 path
+
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    expect_same_detections(on[i], off[i]);
+  }
+  profile::reset();
+  EXPECT_TRUE(profile::snapshot().empty());
 }
 
 TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
