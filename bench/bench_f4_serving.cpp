@@ -37,9 +37,7 @@ int main() {
         core::ServingStrategy::kTaskSpecificFleet, o);
     const auto single = core::simulate_serving(
         core::ServingStrategy::kQuantizedSingle, o);
-    std::printf("%8.2f | %9.1f / %9.1f | %9.1f / %9.1f\n", p,
-                fleet.mean_latency_us, fleet.p99_latency_us,
-                single.mean_latency_us, single.p99_latency_us);
+    std::printf("%s\n", core::serving_switch_sweep_row(p, fleet, single).c_str());
   }
 
   std::printf("\ntask-count sweep (p = 0.25):\n");
@@ -53,9 +51,7 @@ int main() {
         core::ServingStrategy::kTaskSpecificFleet, o);
     const auto single = core::simulate_serving(
         core::ServingStrategy::kQuantizedSingle, o);
-    std::printf("%8lld | %12.0f | %12.0f | %7.1f us\n",
-                static_cast<long long>(tasks), fleet.effective_fps,
-                single.effective_fps, fleet.swap_us);
+    std::printf("%s\n", core::serving_task_sweep_row(tasks, fleet, single).c_str());
   }
   bench::print_footer_note(
       "shape: the fleet's p99 latency inflates with the switch rate (weight "

@@ -66,6 +66,7 @@ void Framework::pretrain_teacher() {
 TaskHandle Framework::define_task(const data::TaskSpec& spec) {
   TaskHandle handle;
   handle.slot = next_slot_++;
+  handle.id = kg::TaskId{handle.slot};
   handle.spec = spec;
   handle.graph = oracle_.generate(spec.description);
   const kg::NodeId task_node = handle.graph.find("task", kg::NodeType::kTask);
@@ -75,6 +76,9 @@ TaskHandle Framework::define_task(const data::TaskSpec& spec) {
       kg::compile_task(handle.graph, task_node,
                        options_.teacher_config.num_attributes,
                        options_.teacher_config.num_classes);
+  // Register the compiled form so publish() can hand every defined task to
+  // serving snapshots — the table only ever grows.
+  task_table_.add(handle.id, spec.name, handle.compiled);
   return handle;
 }
 
@@ -99,8 +103,11 @@ distill::DistillStats Framework::prepare_task_specific(
   const data::Dataset task_corpus =
       data::Dataset::generate(generator, options_.task_corpus_size, fork);
 
+  // A fresh model object every time: published snapshots may still be
+  // serving the previous student for this slot, so it is replaced, never
+  // retrained in place.
   auto student =
-      std::make_unique<vit::VitModel>(options_.student_config, fork);
+      std::make_shared<vit::VitModel>(options_.student_config, fork);
   distill::Distiller distiller(*teacher_, *student, options_.distillation,
                                fork);
   const distill::DistillStats stats = distiller.run(task_corpus, &task.spec);
@@ -118,51 +125,40 @@ void Framework::prepare_quantized() {
   scenes.reserve(static_cast<size_t>(subset));
   for (int64_t i = 0; i < subset; ++i) scenes.push_back(corpus_.scene(i));
   const data::Dataset mt_corpus(std::move(scenes));
+  // Fresh objects (never retrained/requantized in place): published
+  // snapshots may still be serving the previous quantized model.
   multitask_student_ =
-      std::make_unique<vit::VitModel>(options_.student_config, fork);
+      std::make_shared<vit::VitModel>(options_.student_config, fork);
   distill::Distiller distiller(*teacher_, *multitask_student_,
                                options_.multitask_distillation, fork);
   distiller.run(mt_corpus, /*task=*/nullptr);
   // 2. Post-training quantization with calibration.
-  quantized_.emplace(quant::QuantizedVit::from_model(*multitask_student_,
-                                                     options_.quantization));
+  auto quantized = std::make_shared<quant::QuantizedVit>(
+      quant::QuantizedVit::from_model(*multitask_student_,
+                                      options_.quantization));
   const data::SceneGenerator generator(options_.generator);
   const data::Dataset calib =
       data::Dataset::generate(generator, options_.calibration_scenes, fork);
   const auto idx = calib.all_indices();
   const data::Batch batch = calib.make_batch(idx);
-  quantized_->calibrate(batch.images);
-  quantized_->finalize();
+  quantized->calibrate(batch.images);
+  quantized->finalize();
+  quantized_ = std::move(quantized);
+}
+
+DetectionPipeline Framework::pipeline() const {
+  return DetectionPipeline{options_.decoder, options_.matcher,
+                           options_.relevance_threshold, options_.nms_iou};
 }
 
 std::vector<std::vector<detect::Detection>> Framework::decode_and_match(
     const vit::VitOutput& output, const TaskHandle& task,
     bool use_rel_head) const {
-  auto candidates = detect::decode(output, options_.decoder);
-  const kg::TaskMatcher matcher(task.compiled, options_.matcher);
-  std::vector<std::vector<detect::Detection>> result;
-  result.reserve(candidates.size());
-  for (size_t bi = 0; bi < candidates.size(); ++bi) {
-    std::vector<detect::Detection> kept;
-    for (detect::Detection& d : candidates[bi]) {
-      if (use_rel_head) {
-        const float rel_logit = output.relevance.at(
-            {static_cast<int64_t>(bi), d.cell, 0});
-        const float rel = 1.0f / (1.0f + std::exp(-rel_logit));
-        d.task_score = rel;
-        if (rel < options_.relevance_threshold) continue;
-        d.confidence = d.objectness * rel;
-      } else {
-        d.task_score = matcher.score(d.attr_probs, d.class_probs);
-        if (!matcher.relevant(d.attr_probs, d.class_probs)) continue;
-        d.confidence =
-            d.objectness * matcher.confidence(d.attr_probs, d.class_probs);
-      }
-      kept.push_back(std::move(d));
-    }
-    result.push_back(detect::nms(std::move(kept), options_.nms_iou));
-  }
-  return result;
+  // Shared with DeploymentSnapshot::infer_batch — the element-wise identity
+  // between the serial paths and the published serving path is by
+  // construction, not by parallel maintenance of two copies.
+  return core::decode_and_match(output, task.compiled, use_rel_head,
+                                pipeline());
 }
 
 std::vector<std::vector<detect::Detection>> Framework::detect_batch(
@@ -176,7 +172,8 @@ std::vector<std::vector<detect::Detection>> Framework::detect_batch(
     const vit::VitOutput out = it->second->forward(images);
     return decode_and_match(out, task, /*use_rel_head=*/true);
   }
-  ITASK_CHECK(quantized_.has_value(), "detect_batch: prepare_quantized() first");
+  ITASK_CHECK(quantized_ != nullptr,
+              "detect_batch: prepare_quantized() first");
   const vit::VitOutput out = quantized_->forward(images);
   return decode_and_match(out, task, /*use_rel_head=*/false);
 }
@@ -191,7 +188,8 @@ std::vector<std::vector<detect::Detection>> Framework::infer_batch(
     const vit::VitOutput out = it->second->infer(images);
     return decode_and_match(out, task, /*use_rel_head=*/true);
   }
-  ITASK_CHECK(quantized_.has_value(), "infer_batch: prepare_quantized() first");
+  ITASK_CHECK(quantized_ != nullptr,
+              "infer_batch: prepare_quantized() first");
   const vit::VitOutput out = quantized_->forward(images);
   return decode_and_match(out, task, /*use_rel_head=*/false);
 }
@@ -253,7 +251,17 @@ bool Framework::is_prepared(const TaskHandle& task, ConfigKind config) const {
   if (config == ConfigKind::kTaskSpecific) {
     return students_.find(task.slot) != students_.end();
   }
-  return quantized_.has_value();
+  return quantized_ != nullptr;
+}
+
+std::shared_ptr<const DeploymentSnapshot> Framework::publish() {
+  std::map<kg::TaskId, std::shared_ptr<const vit::VitModel>> students;
+  for (const auto& [slot, student] : students_) {
+    students.emplace(kg::TaskId{slot}, student);
+  }
+  return std::make_shared<const DeploymentSnapshot>(
+      ++next_version_, expected_input_shape(), task_table_,
+      std::move(students), quantized_, pipeline());
 }
 
 PolicyDecision Framework::choose_configuration(
@@ -280,7 +288,7 @@ vit::VitModel& Framework::multitask_student() {
 }
 
 quant::QuantizedVit& Framework::quantized() {
-  ITASK_CHECK(quantized_.has_value(), "Framework: no quantized model");
+  ITASK_CHECK(quantized_ != nullptr, "Framework: no quantized model");
   return *quantized_;
 }
 
@@ -344,19 +352,21 @@ void Framework::load_deployment(const std::string& directory) {
       if (present != 1) continue;
       Rng fork = rng_.fork();
       multitask_student_ =
-          std::make_unique<vit::VitModel>(options_.student_config, fork);
+          std::make_shared<vit::VitModel>(options_.student_config, fork);
       multitask_student_->load_state_dict(io::load_state_dict(
           (fs::path(directory) / "multitask.itsk").string()));
-      quantized_.emplace(quant::QuantizedVit::from_model(
-          *multitask_student_, options_.quantization));
-      calibrate_quantized(*quantized_, options_, fork);
+      auto quantized = std::make_shared<quant::QuantizedVit>(
+          quant::QuantizedVit::from_model(*multitask_student_,
+                                          options_.quantization));
+      calibrate_quantized(*quantized, options_, fork);
+      quantized_ = std::move(quantized);
     } else if (kind == "student") {
       int64_t slot = -1;
       manifest >> slot;
       ITASK_CHECK(slot >= 0, "load_deployment: bad student slot");
       Rng fork = rng_.fork();
       auto student =
-          std::make_unique<vit::VitModel>(options_.student_config, fork);
+          std::make_shared<vit::VitModel>(options_.student_config, fork);
       student->load_state_dict(io::load_state_dict(
           (fs::path(directory) /
            ("student_" + std::to_string(slot) + ".itsk"))
@@ -379,7 +389,7 @@ double Framework::task_specific_model_mb() const {
 }
 
 double Framework::quantized_model_mb() const {
-  if (quantized_.has_value()) {
+  if (quantized_ != nullptr) {
     return static_cast<double>(quantized_->quantized_weight_bytes()) /
            (1024.0 * 1024.0);
   }

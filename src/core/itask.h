@@ -7,6 +7,9 @@
 //   fw.prepare_task_specific(t);                 // distilled student
 //   fw.prepare_quantized();                      // INT8 multi-task model
 //   auto dets = fw.detect_batch(images, t, ConfigKind::kTaskSpecific);
+//   auto snap = fw.publish();                    // immutable serving bundle
+//   // ...hand `snap` to runtime::InferenceServer; keep defining/preparing
+//   // and publish() again — serving swaps snapshots with zero downtime.
 //
 // The two inference paths embody the paper's dual configuration:
 //  * task-specific: per-task distilled student; relevance comes from its
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "core/snapshot.h"
 #include "data/dataset.h"
 #include "detect/decoder.h"
 #include "detect/metrics.h"
@@ -28,6 +32,7 @@
 #include "distill/distiller.h"
 #include "distill/trainer.h"
 #include "kg/matcher.h"
+#include "kg/task_table.h"
 #include "llm/oracle.h"
 #include "quant/qvit.h"
 #include "vit/model.h"
@@ -62,9 +67,14 @@ struct FrameworkOptions {
 };
 
 /// A defined mission: its spec (ground truth for evaluation), the oracle's
-/// knowledge graph, and the compiled matcher.
+/// knowledge graph, and the compiled matcher. `id` is the task's stable
+/// serving identity — what the runtime submits against and what deployment
+/// snapshots key their task tables by; `slot` is the storage key for the
+/// per-task distilled student (the same number today, but only `id` is part
+/// of the serving contract).
 struct TaskHandle {
   int64_t slot = -1;
+  kg::TaskId id;
   data::TaskSpec spec;
   kg::KnowledgeGraph graph;
   kg::CompiledTask compiled;
@@ -135,6 +145,20 @@ class Framework {
   /// worker.
   bool is_prepared(const TaskHandle& task, ConfigKind config) const;
 
+  /// Publishes the current deployment as an immutable, versioned snapshot —
+  /// the unit the serving runtime swaps in atomically (zero-downtime task
+  /// onboarding). Cheap: the snapshot *shares* the prepared model objects
+  /// (no weight copies) and copies only the compiled task table, so it can
+  /// be called after every define_task / prepare_* step. Re-preparing the
+  /// Framework afterwards replaces models rather than mutating them, so
+  /// published snapshots keep serving exactly the weights they captured.
+  /// Versions start at 1 and increase by 1 per publish.
+  std::shared_ptr<const DeploymentSnapshot> publish();
+
+  /// Version number the next publish() will stamp, minus one — i.e. how
+  /// many snapshots this Framework has published so far.
+  int64_t published_snapshots() const { return next_version_; }
+
   // --- accessors used by benches/tests ---
   vit::VitModel& teacher();
   vit::VitModel& student_for(const TaskHandle& task);
@@ -145,7 +169,7 @@ class Framework {
   const data::Dataset& corpus() const { return corpus_; }
   const FrameworkOptions& options() const { return options_; }
   bool teacher_ready() const { return teacher_trained_; }
-  bool quantized_ready() const { return quantized_.has_value(); }
+  bool quantized_ready() const { return quantized_ != nullptr; }
 
   /// Model footprints in MB (FP32 student vs INT8 quantized).
   double task_specific_model_mb() const;
@@ -167,6 +191,8 @@ class Framework {
       const vit::VitOutput& output, const TaskHandle& task,
       bool use_rel_head) const;
 
+  DetectionPipeline pipeline() const;
+
   FrameworkOptions options_;
   Rng rng_;
   std::unique_ptr<vit::VitModel> teacher_;
@@ -174,9 +200,15 @@ class Framework {
   data::Dataset corpus_;
   llm::Oracle oracle_;
   int64_t next_slot_ = 0;
-  std::map<int64_t, std::unique_ptr<vit::VitModel>> students_;
-  std::unique_ptr<vit::VitModel> multitask_student_;
-  std::optional<quant::QuantizedVit> quantized_;
+  int64_t next_version_ = 0;
+  /// Every defined task's compiled form — what publish() hands to snapshots.
+  kg::TaskTable task_table_;
+  // Models are held via shared_ptr so publish() can share them with
+  // immutable snapshots; prepare_* REPLACES the pointee (never mutates a
+  // model that a snapshot may be serving from).
+  std::map<int64_t, std::shared_ptr<vit::VitModel>> students_;
+  std::shared_ptr<vit::VitModel> multitask_student_;
+  std::shared_ptr<quant::QuantizedVit> quantized_;
 };
 
 }  // namespace itask::core

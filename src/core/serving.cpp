@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "data/attributes.h"
+#include "tensor/format.h"
 #include "tensor/rng.h"
 #include "vit/workload.h"
 
@@ -80,6 +81,27 @@ ServingReport simulate_serving(ServingStrategy strategy,
   report.deadline_miss_rate =
       static_cast<double>(misses) / static_cast<double>(options.frames);
   return report;
+}
+
+std::string serving_switch_sweep_row(double switch_probability,
+                                     const ServingReport& fleet,
+                                     const ServingReport& single_model) {
+  // Layout: "%8.2f | %9.1f / %9.1f | %9.1f / %9.1f" (the original printf).
+  return fmt::pad_left(fmt::f64(switch_probability, 2), 8) + " | " +
+         fmt::pad_left(fmt::f64(fleet.mean_latency_us, 1), 9) + " / " +
+         fmt::pad_left(fmt::f64(fleet.p99_latency_us, 1), 9) + " | " +
+         fmt::pad_left(fmt::f64(single_model.mean_latency_us, 1), 9) + " / " +
+         fmt::pad_left(fmt::f64(single_model.p99_latency_us, 1), 9);
+}
+
+std::string serving_task_sweep_row(int64_t num_tasks,
+                                   const ServingReport& fleet,
+                                   const ServingReport& single_model) {
+  // Layout: "%8lld | %12.0f | %12.0f | %7.1f us" (the original printf).
+  return fmt::pad_left(fmt::i64(num_tasks), 8) + " | " +
+         fmt::pad_left(fmt::f64(fleet.effective_fps, 0), 12) + " | " +
+         fmt::pad_left(fmt::f64(single_model.effective_fps, 0), 12) + " | " +
+         fmt::pad_left(fmt::f64(fleet.swap_us, 1), 7) + " us";
 }
 
 }  // namespace itask::core

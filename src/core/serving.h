@@ -10,9 +10,22 @@
 //
 // This quantifies the run-time half of the dual-configuration trade-off
 // (bench F4); the accuracy half is T1/F1.
+//
+// Time-unit boundary (the one place it is documented): this module and the
+// accelerator simulator report *analog* quantities — cycle counts divided by
+// clock frequency — as `double` microseconds, because sub-µs fractions are
+// real there and rounding them would bias the sweep tables. The serving
+// *runtime* (runtime/clock.h) is the opposite convention: monotonic integer
+// microsecond timestamps, because wall-clock readings are inherently
+// integral ticks and integer spans compare exactly in tests. The two meet
+// only in reports: runtime::span_us converts timestamp pairs to double µs
+// durations for histograms, and the render helpers below format both kinds
+// through tensor/format.h. Do not "unify" the types — each side's choice is
+// load-bearing; convert at the report boundary only.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "accel/systolic.h"
@@ -56,5 +69,17 @@ struct ServingReport {
 /// Simulates `options.frames` frames with a Markov mission process.
 ServingReport simulate_serving(ServingStrategy strategy,
                                const ServingOptions& options);
+
+/// Fixed-width bench-F4 table rows, rendered through the portable fmt
+/// helpers (tensor/format.h) — byte-identical to the historical printf
+/// layouts, so the recorded EXPERIMENTS.md tables stay comparable.
+/// Switch-rate sweep: "       p |  fleet mean / p99 | single mean / p99".
+std::string serving_switch_sweep_row(double switch_probability,
+                                     const ServingReport& fleet,
+                                     const ServingReport& single_model);
+/// Task-count sweep: "   tasks |    fleet fps |   single fps |  swap us".
+std::string serving_task_sweep_row(int64_t num_tasks,
+                                   const ServingReport& fleet,
+                                   const ServingReport& single_model);
 
 }  // namespace itask::core

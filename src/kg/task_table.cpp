@@ -1,0 +1,34 @@
+#include "kg/task_table.h"
+
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace itask::kg {
+
+std::string task_id_to_string(TaskId id) {
+  return "task " + std::to_string(id.value);
+}
+
+void TaskTable::add(TaskId id, std::string label, CompiledTask compiled) {
+  ITASK_CHECK(id.value >= 0, "TaskTable::add: id must be >= 0");
+  const auto [it, inserted] = entries_.emplace(
+      id, Entry{id, std::move(label), std::move(compiled)});
+  ITASK_CHECK(inserted,
+              "TaskTable::add: duplicate " + task_id_to_string(id));
+  (void)it;
+}
+
+const TaskTable::Entry* TaskTable::find(TaskId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<TaskId> TaskTable::ids() const {
+  std::vector<TaskId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace itask::kg

@@ -1,0 +1,60 @@
+// Stable task identity and the compiled-task table.
+//
+// A TaskId names one defined mission for the lifetime of a deployment: it is
+// assigned once at define_task time and never reused, so it stays valid
+// across re-preparation, re-publication, and serving-side snapshot swaps
+// (unlike a raw storage slot, which is an implementation detail of where a
+// student happens to live). The TaskTable is the value-semantic, matcher-
+// ready form of every defined task — the piece of a deployment snapshot the
+// knowledge-graph layer owns. Tables only grow: tasks are added, never
+// removed, which is what lets a request admitted under snapshot v(n) be
+// served under v(n+k).
+#pragma once
+
+#include <compare>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kg/matcher.h"
+
+namespace itask::kg {
+
+/// Stable identity of a defined task across deployment snapshots.
+struct TaskId {
+  int64_t value = -1;
+
+  friend constexpr auto operator<=>(const TaskId&, const TaskId&) = default;
+};
+
+/// "task <value>" for error messages and trace lines.
+std::string task_id_to_string(TaskId id);
+
+/// Compiled tasks keyed by TaskId. Value-semantic (copying a table copies
+/// the dense compiled vectors); lookups return stable pointers into the
+/// table, valid until the next add().
+class TaskTable {
+ public:
+  struct Entry {
+    TaskId id;
+    std::string label;  // task name / description head, for diagnostics
+    CompiledTask compiled;
+  };
+
+  /// Registers a task. The id must be non-negative and not yet present.
+  void add(TaskId id, std::string label, CompiledTask compiled);
+
+  /// The entry for `id`, or nullptr when the table has no such task.
+  const Entry* find(TaskId id) const;
+
+  bool contains(TaskId id) const { return find(id) != nullptr; }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// All registered ids in ascending order.
+  std::vector<TaskId> ids() const;
+
+ private:
+  std::map<TaskId, Entry> entries_;
+};
+
+}  // namespace itask::kg

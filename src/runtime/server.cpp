@@ -7,13 +7,25 @@
 
 namespace itask::runtime {
 
-InferenceServer::InferenceServer(const core::Framework& framework,
-                                 RuntimeOptions options)
-    : framework_(framework),
-      options_(options),
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const core::DeploymentSnapshot> snapshot,
+    RuntimeOptions options)
+    : options_(options),
       clock_(options_.clock_us ? options_.clock_us : ClockFn(steady_clock_us)),
       queue_(options.queue_capacity),
-      stages_(metrics_) {
+      stages_(metrics_),
+      snapshot_(std::move(snapshot)) {
+  ITASK_CHECK(snapshot_ != nullptr,
+              "InferenceServer: snapshot must not be null");
   ITASK_CHECK(options_.workers >= 1, "InferenceServer: workers must be >= 1");
   ITASK_CHECK(options_.max_batch >= 1,
               "InferenceServer: max_batch must be >= 1");
@@ -21,6 +33,11 @@ InferenceServer::InferenceServer(const core::Framework& framework,
               "InferenceServer: max_wait_us must be >= 0");
   ITASK_CHECK(options_.deadline_us >= 0,
               "InferenceServer: deadline_us must be >= 0");
+  // Created up front so a scrape before the first install/request still sees
+  // every counter with a stable value (the initial snapshot counts as one
+  // publish; its tasks were never *onboarded* live).
+  metrics_.counter("snapshots_published").increment();
+  metrics_.counter("tasks_onboarded");
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int64_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -29,13 +46,49 @@ InferenceServer::InferenceServer(const core::Framework& framework,
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
-    Tensor image, const core::TaskHandle& task, core::ConfigKind config,
-    std::optional<int64_t> deadline_us) {
-  // Admission-time validation: malformed requests fail fast at the edge with
-  // a clear message, so a worker never sees an image it cannot stack or a
-  // configuration it cannot serve (which would otherwise throw mid-loop).
-  const Shape expected = framework_.expected_input_shape();
+void InferenceServer::install_snapshot(
+    std::shared_ptr<const core::DeploymentSnapshot> snapshot) {
+  ITASK_CHECK(snapshot != nullptr,
+              "install_snapshot: snapshot must not be null");
+  int64_t onboarded = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    ITASK_CHECK(snapshot->version() > snapshot_->version(),
+                "install_snapshot: version " + fmt::i64(snapshot->version()) +
+                    " does not increase over installed v" +
+                    fmt::i64(snapshot_->version()));
+    ITASK_CHECK(
+        snapshot->expected_input_shape() == snapshot_->expected_input_shape(),
+        "install_snapshot: expected input shape changed — the admission "
+        "contract must stay stable across snapshots");
+    onboarded = std::max<int64_t>(
+        0, snapshot->task_count() - snapshot_->task_count());
+    snapshot_ = std::move(snapshot);
+    // The old snapshot_ value drops here; workers mid-batch still hold their
+    // acquired reference, so it retires only when the last of them finishes.
+  }
+  metrics_.counter("snapshots_published").increment();
+  if (onboarded > 0) {
+    metrics_.counter("tasks_onboarded").increment(onboarded);
+  }
+}
+
+std::shared_ptr<const core::DeploymentSnapshot>
+InferenceServer::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+SubmitResult InferenceServer::try_submit(Tensor image, kg::TaskId task,
+                                         core::ConfigKind config,
+                                         std::optional<int64_t> deadline_us) {
+  // Admission-time validation against the *current* snapshot: malformed
+  // requests fail fast at the edge with a clear message, so a worker never
+  // sees an image it cannot stack or a task no snapshot it acquires could
+  // serve (task tables only grow across versions).
+  const std::shared_ptr<const core::DeploymentSnapshot> snapshot =
+      current_snapshot();
+  const Shape& expected = snapshot->expected_input_shape();
   if (image.shape() != expected) {
     metrics_.counter("requests_invalid").increment();
     ITASK_CHECK(false, "try_submit: image shape " +
@@ -44,14 +97,14 @@ std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
                            "[C, H, W] shape " +
                            shape_to_string(expected));
   }
-  if (!framework_.is_prepared(task, config)) {
+  if (!snapshot->servable(task, config)) {
     metrics_.counter("requests_invalid").increment();
     ITASK_CHECK(false,
                 std::string("try_submit: configuration ") +
-                    core::config_kind_name(config) +
-                    " is not prepared for task slot " +
-                    std::to_string(task.slot) +
-                    " (run prepare_task_specific/prepare_quantized first)");
+                    core::config_kind_name(config) + " cannot serve " +
+                    kg::task_id_to_string(task) + " from snapshot v" +
+                    fmt::i64(snapshot->version()) +
+                    " (publish and install a snapshot containing it first)");
   }
   const int64_t effective_deadline_us =
       deadline_us.value_or(options_.deadline_us);
@@ -61,25 +114,30 @@ std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
   Pending pending;
   pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   pending.image = std::move(image);
-  pending.task = &task;
+  pending.task = task;
   pending.config = config;
   pending.admitted_us = clock_();
   if (effective_deadline_us > 0) {
     pending.deadline_us = pending.admitted_us + effective_deadline_us;
   }
-  std::future<InferenceResult> future = pending.promise.get_future();
+  SubmitResult result;
+  result.future = pending.promise.get_future();
   switch (queue_.push(std::move(pending))) {
     case PushResult::kFull:
       metrics_.counter("rejected_queue_full").increment();
-      return std::nullopt;
+      result.future.reset();
+      result.reject = RejectReason::kQueueFull;
+      return result;
     case PushResult::kClosed:
       metrics_.counter("rejected_shutdown").increment();
-      return std::nullopt;
+      result.future.reset();
+      result.reject = RejectReason::kShuttingDown;
+      return result;
     case PushResult::kOk:
       break;
   }
   metrics_.counter("requests_submitted").increment();
-  return future;
+  return result;
 }
 
 void InferenceServer::shutdown() {
@@ -104,6 +162,11 @@ void InferenceServer::worker_loop(int64_t worker_index) {
     std::vector<Pending> batch = queue_.pop_batch(
         options_.max_batch, std::chrono::microseconds(options_.max_wait_us));
     if (batch.empty()) return;  // closed and drained
+    // One snapshot acquisition per micro-batch (RCU read-side critical
+    // section): every group in this batch serves from the same immutable
+    // version, however many installs happen while it runs.
+    const std::shared_ptr<const core::DeploymentSnapshot> snapshot =
+        current_snapshot();
     const int64_t picked_us = clock_();
     batches.increment();
     batch_h.record(static_cast<double>(batch.size()));
@@ -130,6 +193,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       StageTimeline t;
       t.admitted_us = p.admitted_us;
       t.picked_us = picked_us;
+      t.snapshot_version = snapshot->version();
       stages_.expired(t);
       done[i] = 1;
     }
@@ -142,7 +206,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       std::vector<size_t> group;
       for (size_t j = i; j < batch.size(); ++j) {
         if (!done[j] && batch[j].config == batch[i].config &&
-            batch[j].task->slot == batch[i].task->slot) {
+            batch[j].task == batch[i].task) {
           group.push_back(j);
         }
       }
@@ -150,6 +214,9 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       // Fault isolation: a throw anywhere in this group's inference (stack,
       // fault_injector, infer_batch) fails exactly this group's futures; the
       // worker keeps draining, other groups and later batches are untouched.
+      // Admission validated against an earlier snapshot and tables only
+      // grow, so infer_batch's own not-servable throw is unreachable in
+      // practice — but if it ever fires it lands here, on this group only.
       std::vector<std::vector<detect::Detection>> detections;
       int64_t infer_start_us = 0;
       int64_t infer_end_us = 0;
@@ -160,7 +227,8 @@ void InferenceServer::worker_loop(int64_t worker_index) {
           site.first_request_id = batch[group.front()].id;
           site.group_size = static_cast<int64_t>(group.size());
           site.config = batch[i].config;
-          site.task_slot = batch[i].task->slot;
+          site.task = batch[i].task;
+          site.snapshot_version = snapshot->version();
           options_.fault_injector(site);
         }
         const Shape& img = batch[i].image.shape();
@@ -171,7 +239,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         }
         infer_start_us = clock_();
         detections =
-            framework_.infer_batch(stacked, *batch[i].task, batch[i].config);
+            snapshot->infer_batch(stacked, batch[i].task, batch[i].config);
         infer_end_us = clock_();
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
@@ -184,6 +252,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
           StageTimeline t;
           t.admitted_us = p.admitted_us;
           t.picked_us = picked_us;
+          t.snapshot_version = snapshot->version();
           stages_.failed(t);
           done[member] = 1;
         }
@@ -197,11 +266,13 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         t.picked_us = picked_us;
         t.infer_start_us = infer_start_us;
         t.infer_end_us = infer_end_us;
+        t.snapshot_version = snapshot->version();
         InferenceResult result;
         result.request_id = p.id;
         result.detections = std::move(detections[g]);
         result.batch_size = static_cast<int64_t>(batch.size());
         result.worker = worker_index;
+        result.snapshot_version = snapshot->version();
         result.queue_us = span_us(t.admitted_us, t.picked_us);
         result.batch_formation_us = span_us(t.picked_us, t.infer_start_us);
         result.infer_us = span_us(t.infer_start_us, t.infer_end_us);

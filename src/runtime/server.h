@@ -3,33 +3,46 @@
 // models under concurrent load.
 //
 //   client threads ──try_submit──▶ BoundedQueue ──pop_batch──▶ workers
-//        ▲ (rejected when full:        (micro-batches close at      │
-//        │  backpressure)               max_batch or max_wait)      │
+//        ▲ (SubmitResult carries        (micro-batches close at     │
+//        │  the reject reason)           max_batch or max_wait)     │
 //        └────────── std::future<InferenceResult> ◀── fulfil ───────┘
 //
-// Workers group each micro-batch by (configuration, task), stack the images,
-// and run the Framework's thread-safe const inference entry point
-// (`Framework::infer_batch`), so both deployable configurations — the FP32
-// task-specific student and the INT8 multi-task student — serve real
-// requests concurrently from one shared deployment.
+// The server holds an immutable core::DeploymentSnapshot behind an
+// atomically swapped shared_ptr. Each worker acquires the pointer ONCE per
+// micro-batch and runs the whole batch against that snapshot (RCU-style:
+// an old snapshot retires when the last in-flight batch releases its
+// reference), so install_snapshot() never blocks serving and the Framework
+// may keep defining/preparing/publishing concurrently — a task becomes
+// servable the instant a snapshot containing it is installed, with zero
+// requests failed or shed attributable to the swap.
+//
+// Workers group each micro-batch by (configuration, task id), stack the
+// images, and run the snapshot's thread-safe const inference entry point
+// (`DeploymentSnapshot::infer_batch`), so both deployable configurations —
+// the FP32 task-specific student and the INT8 multi-task student — serve
+// real requests concurrently from one published deployment.
 //
 // Determinism contract: inference is cache-free and batch-composition-
 // invariant, so every request's detections are element-wise identical to a
-// serial `Framework::detect_batch` over the same images, whatever the
-// scheduling — the property test_runtime proves.
+// serial `Framework::detect_batch` over the same weights, whatever the
+// scheduling or which snapshot version served it — the property test_runtime
+// proves for snapshots before and after each publish.
 //
 // Fault tolerance contract: one bad request never takes the server down.
-// Malformed requests (wrong image shape, unprepared configuration) throw at
-// admission; an inference fault inside a worker is delivered on exactly the
-// affected group's futures while the worker keeps draining; requests whose
-// deadline passed before a worker picked them are shed with DeadlineExceeded.
-// Every admitted request's future is always fulfilled — with a value or an
-// exception, never abandoned.
+// Malformed requests (wrong image shape, (task, config) not servable from
+// the current snapshot) throw at admission; an inference fault inside a
+// worker is delivered on exactly the affected group's futures while the
+// worker keeps draining; requests whose deadline passed before a worker
+// picked them are shed with DeadlineExceeded. Every admitted request's
+// future is always fulfilled — with a value or an exception, never
+// abandoned.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -37,6 +50,7 @@
 #include <vector>
 
 #include "core/itask.h"
+#include "core/snapshot.h"
 #include "runtime/clock.h"
 #include "runtime/metrics.h"
 #include "runtime/queue.h"
@@ -61,7 +75,8 @@ struct FaultSite {
   int64_t first_request_id = -1;
   int64_t group_size = 0;
   core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
-  int64_t task_slot = -1;
+  kg::TaskId task;
+  int64_t snapshot_version = 0;
 };
 
 struct RuntimeOptions {
@@ -97,6 +112,7 @@ struct InferenceResult {
   std::vector<detect::Detection> detections;
   int64_t batch_size = 0;   // size of the micro-batch this request rode in
   int64_t worker = -1;      // which worker served it
+  int64_t snapshot_version = 0;  // deployment snapshot that served it
   double queue_us = 0.0;    // admission → picked into a batch
   double batch_formation_us = 0.0;  // picked → its group's forward began
   double infer_us = 0.0;    // model forward + decode for its group
@@ -104,28 +120,68 @@ struct InferenceResult {
   StageTimeline timeline;   // the raw clock readings behind the spans
 };
 
-/// A serving engine over a *prepared* core::Framework deployment. The
-/// framework (and every TaskHandle passed to try_submit) must outlive the
-/// server and must not be re-prepared while the server runs.
+/// Why try_submit declined a request. kNone means it was admitted.
+enum class RejectReason { kNone, kQueueFull, kShuttingDown };
+
+const char* reject_reason_name(RejectReason reason);
+
+/// The typed outcome of try_submit: either the future for the admitted
+/// request, or an explicit reject reason the caller can branch on (shed
+/// load on kQueueFull, stop submitting on kShuttingDown) — replacing the
+/// old bare optional that conflated the two.
+struct SubmitResult {
+  std::optional<std::future<InferenceResult>> future;
+  RejectReason reject = RejectReason::kNone;
+
+  bool admitted() const { return future.has_value(); }
+  explicit operator bool() const { return admitted(); }
+};
+
+/// A serving engine over published core::DeploymentSnapshot bundles. The
+/// server owns a shared reference to every snapshot it may still serve
+/// from, so the publishing Framework is free to keep mutating (define_task,
+/// prepare_*, publish) while the server runs — snapshots are immutable.
 class InferenceServer {
  public:
-  InferenceServer(const core::Framework& framework, RuntimeOptions options);
+  InferenceServer(std::shared_ptr<const core::DeploymentSnapshot> snapshot,
+                  RuntimeOptions options);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Admission-controlled submit of one image [C, H, W]. Returns the future
-  /// for its result, or nullopt when the queue is full (rejected_queue_full)
-  /// or the server is shutting down (rejected_shutdown) — the caller sheds
-  /// load. Malformed requests fail fast here instead of inside a worker:
-  /// an image whose shape differs from framework.expected_input_shape() or a
-  /// (config, task) the framework has not prepared throws
-  /// std::invalid_argument (counted as requests_invalid). `deadline_us`
-  /// overrides RuntimeOptions::deadline_us for this request (0 = none).
-  std::optional<std::future<InferenceResult>> try_submit(
-      Tensor image, const core::TaskHandle& task, core::ConfigKind config,
-      std::optional<int64_t> deadline_us = std::nullopt);
+  /// Swaps in a newer published snapshot without pausing serving: requests
+  /// admitted before the swap finish on whichever snapshot their worker
+  /// acquired; micro-batches formed after it serve the new one. The
+  /// snapshot's version must strictly increase over the current one and its
+  /// expected input shape must match (the admission contract already handed
+  /// to clients cannot change mid-flight). Increments snapshots_published;
+  /// tasks_onboarded grows by the number of newly servable tasks.
+  void install_snapshot(
+      std::shared_ptr<const core::DeploymentSnapshot> snapshot);
+
+  /// The snapshot new micro-batches will be served from right now.
+  std::shared_ptr<const core::DeploymentSnapshot> current_snapshot() const;
+
+  /// Admission-controlled submit of one image [C, H, W]. The result carries
+  /// either the future or the explicit reject reason (queue full /
+  /// shutting down) — the caller sheds load. Malformed requests fail fast
+  /// here instead of inside a worker: an image whose shape differs from the
+  /// snapshot's expected [C, H, W], or a (task, config) the *current*
+  /// snapshot cannot serve, throws std::invalid_argument (counted as
+  /// requests_invalid) — publish-and-install a snapshot containing the task
+  /// first. `deadline_us` overrides RuntimeOptions::deadline_us for this
+  /// request (0 = none).
+  SubmitResult try_submit(Tensor image, kg::TaskId task,
+                          core::ConfigKind config,
+                          std::optional<int64_t> deadline_us = std::nullopt);
+
+  /// Convenience overload: submits against the handle's stable task id.
+  SubmitResult try_submit(Tensor image, const core::TaskHandle& task,
+                          core::ConfigKind config,
+                          std::optional<int64_t> deadline_us = std::nullopt) {
+    return try_submit(std::move(image), task.id, config, deadline_us);
+  }
 
   /// Graceful shutdown: stops admission, drains every queued request
   /// (all outstanding futures are fulfilled), joins the workers. Idempotent;
@@ -133,13 +189,15 @@ class InferenceServer {
   void shutdown();
 
   MetricsRegistry& metrics() { return metrics_; }
+  /// Read-only view for scrapes (PeriodicReporter, exposition, benches).
+  const MetricsRegistry& metrics() const { return metrics_; }
   const RuntimeOptions& options() const { return options_; }
 
  private:
   struct Pending {
     int64_t id = -1;
     Tensor image;                        // [C, H, W]
-    const core::TaskHandle* task = nullptr;
+    kg::TaskId task;
     core::ConfigKind config = core::ConfigKind::kQuantizedMultiTask;
     std::promise<InferenceResult> promise;
     int64_t admitted_us = 0;  // clock_us() at admission
@@ -148,13 +206,17 @@ class InferenceServer {
 
   void worker_loop(int64_t worker_index);
 
-  const core::Framework& framework_;
   RuntimeOptions options_;
   ClockFn clock_;
   BoundedQueue<Pending> queue_;
   MetricsRegistry metrics_;
   StageRecorder stages_;
   std::atomic<int64_t> next_id_{0};
+  // The current snapshot, guarded by a mutex rather than an atomic
+  // shared_ptr: acquisition is once per micro-batch (not per request), so
+  // the lock is uncontended and trivially TSan-clean.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const core::DeploymentSnapshot> snapshot_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 };

@@ -25,12 +25,14 @@ enum class Stage { kQueueWait, kBatchFormation, kInfer, kTotal };
 /// Histogram name for a stage ("stage_queue_wait_us", …).
 const char* stage_histogram_name(Stage s);
 
-/// Raw clock readings (injectable clock, µs) for one request's lifecycle.
+/// Raw clock readings (injectable clock, µs) for one request's lifecycle,
+/// plus which deployment snapshot version the serving micro-batch acquired.
 struct StageTimeline {
   int64_t admitted_us = 0;     // try_submit accepted the request
   int64_t picked_us = 0;       // a worker popped it into a micro-batch
   int64_t infer_start_us = 0;  // its (config, task) group's forward began
   int64_t infer_end_us = 0;    // forward + decode returned
+  int64_t snapshot_version = 0;  // DeploymentSnapshot::version() that served it
 };
 
 /// Non-negative span in µs: clock readings taken on different threads are

@@ -8,6 +8,7 @@
 #include "kg/graph.h"
 #include "kg/matcher.h"
 #include "kg/serialize.h"
+#include "kg/task_table.h"
 
 namespace itask::kg {
 namespace {
@@ -208,6 +209,47 @@ TEST(Matcher, InvalidAlphaThrows) {
   opt.alpha = 1.5f;
   EXPECT_THROW(TaskMatcher(compile_task(g, 0, 3, 3), opt),
                std::invalid_argument);
+}
+
+TEST(TaskTable, AddFindAndIds) {
+  const KnowledgeGraph g = make_small_graph();
+  const CompiledTask compiled = compile_task(g, 0, 3, 3);
+  TaskTable table;
+  EXPECT_EQ(table.size(), 0);
+  EXPECT_FALSE(table.contains(TaskId{0}));
+  EXPECT_EQ(table.find(TaskId{0}), nullptr);
+  table.add(TaskId{2}, "surgical", compiled);
+  table.add(TaskId{0}, "packing", compiled);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_TRUE(table.contains(TaskId{0}));
+  EXPECT_FALSE(table.contains(TaskId{1}));
+  const TaskTable::Entry* entry = table.find(TaskId{2});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->label, "surgical");
+  EXPECT_EQ(entry->id, TaskId{2});
+  EXPECT_EQ(entry->compiled.positive.numel(), compiled.positive.numel());
+  // ids() comes back sorted — stable iteration order for snapshots.
+  const auto ids = table.ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], TaskId{0});
+  EXPECT_EQ(ids[1], TaskId{2});
+}
+
+TEST(TaskTable, RejectsDuplicatesAndNegativeIds) {
+  const KnowledgeGraph g = make_small_graph();
+  const CompiledTask compiled = compile_task(g, 0, 3, 3);
+  TaskTable table;
+  table.add(TaskId{1}, "a", compiled);
+  EXPECT_THROW(table.add(TaskId{1}, "b", compiled), std::invalid_argument);
+  EXPECT_THROW(table.add(TaskId{-1}, "c", compiled), std::invalid_argument);
+  EXPECT_THROW(table.add(TaskId{}, "d", compiled), std::invalid_argument);
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(TaskTable, TaskIdOrderingAndName) {
+  EXPECT_EQ(TaskId{3}, TaskId{3});
+  EXPECT_LT(TaskId{2}, TaskId{3});
+  EXPECT_EQ(task_id_to_string(TaskId{7}), "task 7");
 }
 
 }  // namespace

@@ -439,7 +439,9 @@ FrameworkOptions fast_options() {
 }
 
 // One trained deployment shared by all server tests (teacher pretraining is
-// the expensive step; do it once per process).
+// the expensive step; do it once per process). `snap_` is the baseline
+// published snapshot (version 1) most server tests serve from; tests that
+// need a later snapshot publish their own.
 class RuntimeServing : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -448,12 +450,15 @@ class RuntimeServing : public ::testing::Test {
     task_ = new TaskHandle(fw_->define_task(data::task_by_id(1)));
     fw_->prepare_task_specific(*task_);
     fw_->prepare_quantized();
+    snap_ = new std::shared_ptr<const core::DeploymentSnapshot>(
+        fw_->publish());
     Rng rng(123);
     data::SceneGenerator gen(fw_->options().generator);
     eval_ = new data::Dataset(data::Dataset::generate(gen, 24, rng));
   }
   static void TearDownTestSuite() {
     delete eval_;
+    delete snap_;
     delete task_;
     delete fw_;
   }
@@ -479,11 +484,14 @@ class RuntimeServing : public ::testing::Test {
 
   static Framework* fw_;
   static TaskHandle* task_;
+  static std::shared_ptr<const core::DeploymentSnapshot>* snap_;
   static data::Dataset* eval_;
 };
 
 Framework* RuntimeServing::fw_ = nullptr;
 TaskHandle* RuntimeServing::task_ = nullptr;
+std::shared_ptr<const core::DeploymentSnapshot>* RuntimeServing::snap_ =
+    nullptr;
 data::Dataset* RuntimeServing::eval_ = nullptr;
 
 TEST_F(RuntimeServing, InferBatchMatchesDetectBatchExactly) {
@@ -504,6 +512,55 @@ TEST_F(RuntimeServing, InferBatchMatchesDetectBatchExactly) {
   }
 }
 
+TEST_F(RuntimeServing, PublishStampsMonotonicVersionsAndSharesModels) {
+  const auto a = fw_->publish();
+  const auto b = fw_->publish();
+  EXPECT_EQ(b->version(), a->version() + 1);
+  EXPECT_GE(a->version(), 1);
+  EXPECT_EQ((*snap_)->version(), 1);
+  EXPECT_TRUE(a->has_task(task_->id));
+  EXPECT_TRUE(a->servable(task_->id, ConfigKind::kTaskSpecific));
+  EXPECT_TRUE(a->servable(task_->id, ConfigKind::kQuantizedMultiTask));
+  EXPECT_FALSE(a->servable(kg::TaskId{9999}, ConfigKind::kQuantizedMultiTask));
+  EXPECT_EQ(a->expected_input_shape(), fw_->expected_input_shape());
+  EXPECT_EQ(fw_->published_snapshots(), b->version());
+}
+
+TEST_F(RuntimeServing, SnapshotInferBatchMatchesDetectBatchExactly) {
+  // The published serving path must agree with the Framework's mutable
+  // serial path element-wise, for both deployable configurations — the
+  // identity that makes snapshot swaps invisible to results.
+  Tensor images({eval_->size(), 3, 24, 24});
+  for (int64_t i = 0; i < eval_->size(); ++i) {
+    images.set_index(i, eval_->scene(i).image);
+  }
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    const auto serial = fw_->detect_batch(images, *task_, config);
+    const auto snapshot = (*snap_)->infer_batch(images, task_->id, config);
+    ASSERT_EQ(serial.size(), snapshot.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      expect_same_detections(snapshot[i], serial[i]);
+    }
+  }
+}
+
+TEST_F(RuntimeServing, SnapshotValidatesConstructionAndUnservableRequests) {
+  EXPECT_THROW(core::DeploymentSnapshot(0, Shape{3, 24, 24}, kg::TaskTable{},
+                                        {}, nullptr, core::DetectionPipeline{}),
+               std::invalid_argument);
+  EXPECT_THROW(core::DeploymentSnapshot(1, Shape{24, 24}, kg::TaskTable{}, {},
+                                        nullptr, core::DetectionPipeline{}),
+               std::invalid_argument);
+  Tensor images({1, 3, 24, 24});
+  images.set_index(0, eval_->scene(0).image);
+  // Unknown task and absent student both throw with the snapshot version in
+  // the message.
+  EXPECT_THROW((*snap_)->infer_batch(images, kg::TaskId{9999},
+                                     ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+}
+
 TEST_F(RuntimeServing, ResultsDeterministicVsSerialPath) {
   // Whatever micro-batches the workers form, every request's detections
   // must be element-wise identical to serial single-image detection.
@@ -516,16 +573,17 @@ TEST_F(RuntimeServing, ResultsDeterministicVsSerialPath) {
       opts.max_batch = 4;
       opts.max_wait_us = 500;
       opts.queue_capacity = 64;
-      InferenceServer server(*fw_, opts);
+      InferenceServer server(*snap_, opts);
       for (int64_t i = 0; i < eval_->size(); ++i) {
         auto f = server.try_submit(eval_->scene(i).image, *task_, config);
-        ASSERT_TRUE(f.has_value());
-        futures.push_back(std::move(*f));
+        ASSERT_TRUE(f.admitted());
+        futures.push_back(std::move(*f.future));
       }
     }  // destructor = graceful shutdown; all futures must be fulfilled
     for (int64_t i = 0; i < eval_->size(); ++i) {
       InferenceResult r = futures[static_cast<size_t>(i)].get();
       EXPECT_EQ(r.request_id, i);
+      EXPECT_EQ(r.snapshot_version, (*snap_)->version());
       const auto serial = fw_->detect(eval_->scene(i).image, *task_, config);
       expect_same_detections(r.detections, serial);
     }
@@ -538,13 +596,13 @@ TEST_F(RuntimeServing, ShutdownDrainsEveryAdmittedRequest) {
   opts.max_batch = 4;
   opts.max_wait_us = 200;
   opts.queue_capacity = 128;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
   std::vector<std::future<InferenceResult>> futures;
   for (int i = 0; i < 24; ++i) {
     auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
                                ConfigKind::kQuantizedMultiTask);
-    ASSERT_TRUE(f.has_value());
-    futures.push_back(std::move(*f));
+    ASSERT_TRUE(f.admitted());
+    futures.push_back(std::move(*f.future));
   }
   server.shutdown();  // must fulfil all 24, not drop queued ones
   std::set<int64_t> ids;
@@ -569,17 +627,21 @@ TEST_F(RuntimeServing, BackpressureRejectsWhenQueueFull) {
   opts.max_batch = 1;
   opts.max_wait_us = 0;
   opts.queue_capacity = 2;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
   int64_t accepted = 0;
   int64_t rejected = 0;
   std::vector<std::future<InferenceResult>> futures;
   for (int i = 0; i < 64; ++i) {
     auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
                                ConfigKind::kQuantizedMultiTask);
-    if (f.has_value()) {
+    if (f.admitted()) {
+      EXPECT_EQ(f.reject, RejectReason::kNone);
       ++accepted;
-      futures.push_back(std::move(*f));
+      futures.push_back(std::move(*f.future));
     } else {
+      // The typed result names the cause — backpressure, not shutdown.
+      EXPECT_EQ(f.reject, RejectReason::kQueueFull);
+      EXPECT_FALSE(f);  // operator bool mirrors admitted()
       ++rejected;
     }
   }
@@ -596,11 +658,15 @@ TEST_F(RuntimeServing, BackpressureRejectsWhenQueueFull) {
 TEST_F(RuntimeServing, SubmitAfterShutdownIsRejected) {
   RuntimeOptions opts;
   opts.workers = 1;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
   server.shutdown();
   const auto f = server.try_submit(eval_->scene(0).image, *task_,
                                    ConfigKind::kQuantizedMultiTask);
-  EXPECT_FALSE(f.has_value());
+  EXPECT_FALSE(f.admitted());
+  EXPECT_EQ(f.reject, RejectReason::kShuttingDown);
+  EXPECT_STREQ(reject_reason_name(f.reject), "shutting_down");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kNone), "none");
   // Counted as a shutdown rejection, not backpressure.
   EXPECT_EQ(server.metrics().counter("rejected_shutdown").value(), 1);
   EXPECT_EQ(server.metrics().counter("rejected_queue_full").value(), 0);
@@ -609,7 +675,7 @@ TEST_F(RuntimeServing, SubmitAfterShutdownIsRejected) {
 TEST_F(RuntimeServing, AdmissionRejectsMisshapedImage) {
   RuntimeOptions opts;
   opts.workers = 1;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
   // Wrong spatial dims: must throw at admission with a clear message, not
   // reach a worker (where stacking it with a well-shaped request would have
   // crashed the process pre-fix).
@@ -630,27 +696,61 @@ TEST_F(RuntimeServing, AdmissionRejectsMisshapedImage) {
   // The server keeps serving valid traffic afterwards.
   auto f = server.try_submit(eval_->scene(0).image, *task_,
                              ConfigKind::kQuantizedMultiTask);
-  ASSERT_TRUE(f.has_value());
-  f->get();  // completes
+  ASSERT_TRUE(f.admitted());
+  f.future->get();  // completes
 }
 
-TEST_F(RuntimeServing, AdmissionRejectsUnpreparedConfig) {
-  // A task that was defined but never distilled: the task-specific
-  // configuration cannot serve it, and admission must say so instead of a
-  // worker throwing mid-batch.
-  const TaskHandle undistilled = fw_->define_task(data::task_by_id(2));
+TEST_F(RuntimeServing, AdmissionGatesOnCurrentSnapshotUntilInstall) {
+  // A task defined *after* the server's snapshot was published is not
+  // servable — under either configuration — until a snapshot containing it
+  // is installed. Admission says so instead of a worker throwing mid-batch.
   RuntimeOptions opts;
   opts.workers = 1;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(fw_->publish(), opts);
+  const TaskHandle undistilled = fw_->define_task(data::task_by_id(2));
   EXPECT_THROW(server.try_submit(eval_->scene(0).image, undistilled,
                                  ConfigKind::kTaskSpecific),
                std::invalid_argument);
-  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 1);
-  // The quantized configuration serves any defined task via KG matching.
+  EXPECT_THROW(server.try_submit(eval_->scene(0).image, undistilled,
+                                 ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 2);
+
+  // Publishing and installing a snapshot containing the task makes its
+  // quantized path servable instantly (KG matching needs no per-task
+  // student); the task-specific path still needs a distilled student.
+  server.install_snapshot(fw_->publish());
+  EXPECT_TRUE(server.current_snapshot()->has_task(undistilled.id));
+  EXPECT_THROW(server.try_submit(eval_->scene(0).image, undistilled,
+                                 ConfigKind::kTaskSpecific),
+               std::invalid_argument);
   auto f = server.try_submit(eval_->scene(0).image, undistilled,
                              ConfigKind::kQuantizedMultiTask);
-  ASSERT_TRUE(f.has_value());
-  f->get();
+  ASSERT_TRUE(f.admitted());
+  f.future->get();
+  EXPECT_EQ(server.metrics().counter("snapshots_published").value(), 2);
+  EXPECT_EQ(server.metrics().counter("tasks_onboarded").value(), 1);
+}
+
+TEST_F(RuntimeServing, InstallSnapshotValidatesVersionAndShape) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  const auto current = fw_->publish();
+  InferenceServer server(current, opts);
+  EXPECT_THROW(server.install_snapshot(nullptr), std::invalid_argument);
+  // Same (or older) version must be refused — installs only move forward.
+  EXPECT_THROW(server.install_snapshot(current), std::invalid_argument);
+  EXPECT_THROW(server.install_snapshot(*snap_), std::invalid_argument);
+  // A newer version with a different input shape breaks the admission
+  // contract already handed to clients: refused.
+  const auto misshaped = std::make_shared<const core::DeploymentSnapshot>(
+      current->version() + 100, Shape{3, 12, 12}, current->tasks(),
+      std::map<kg::TaskId, std::shared_ptr<const vit::VitModel>>{}, nullptr,
+      core::DetectionPipeline{});
+  EXPECT_THROW(server.install_snapshot(misshaped), std::invalid_argument);
+  EXPECT_EQ(server.current_snapshot()->version(), current->version());
+  // Failed installs never count as publishes.
+  EXPECT_EQ(server.metrics().counter("snapshots_published").value(), 1);
 }
 
 TEST_F(RuntimeServing, InjectedFaultFailsOnlyItsGroupAndServingContinues) {
@@ -670,15 +770,15 @@ TEST_F(RuntimeServing, InjectedFaultFailsOnlyItsGroupAndServingContinues) {
       throw std::runtime_error("injected inference fault");
     }
   };
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
 
   constexpr int kFirstWave = 8;
   std::vector<std::future<InferenceResult>> futures;
   for (int i = 0; i < kFirstWave; ++i) {
     auto f = server.try_submit(eval_->scene(i % eval_->size()).image, *task_,
                                ConfigKind::kQuantizedMultiTask);
-    ASSERT_TRUE(f.has_value());
-    futures.push_back(std::move(*f));
+    ASSERT_TRUE(f.admitted());
+    futures.push_back(std::move(*f.future));
   }
   for (int i = 0; i < kFirstWave; ++i) {
     if (i == 3) {
@@ -695,8 +795,8 @@ TEST_F(RuntimeServing, InjectedFaultFailsOnlyItsGroupAndServingContinues) {
   for (int i = 0; i < 4; ++i) {
     auto f = server.try_submit(eval_->scene(i).image, *task_,
                                ConfigKind::kQuantizedMultiTask);
-    ASSERT_TRUE(f.has_value());
-    InferenceResult r = f->get();
+    ASSERT_TRUE(f.admitted());
+    InferenceResult r = f.future->get();
     const auto serial = fw_->detect(eval_->scene(i).image, *task_,
                                     ConfigKind::kQuantizedMultiTask);
     expect_same_detections(r.detections, serial);
@@ -723,7 +823,7 @@ TEST_F(RuntimeServing, FaultInGroupedBatchFailsWholeGroupOnly) {
       throw std::runtime_error("injected quantized-path fault");
     }
   };
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
   std::vector<std::future<InferenceResult>> futures;
   const std::vector<ConfigKind> configs{
       ConfigKind::kQuantizedMultiTask, ConfigKind::kTaskSpecific,
@@ -731,8 +831,8 @@ TEST_F(RuntimeServing, FaultInGroupedBatchFailsWholeGroupOnly) {
   for (size_t i = 0; i < configs.size(); ++i) {
     auto f = server.try_submit(eval_->scene(static_cast<int64_t>(i)).image,
                                *task_, configs[i]);
-    ASSERT_TRUE(f.has_value());
-    futures.push_back(std::move(*f));
+    ASSERT_TRUE(f.admitted());
+    futures.push_back(std::move(*f.future));
   }
   server.shutdown();
   for (size_t i = 0; i < configs.size(); ++i) {
@@ -769,13 +869,13 @@ TEST_F(RuntimeServing, ExpiredDeadlinesShedAtBatchFormation) {
       }
     }
   };
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
 
   // Request 0: per-request override 0 = no deadline (stalls the worker).
   auto f0 = server.try_submit(eval_->scene(0).image, *task_,
                               ConfigKind::kQuantizedMultiTask,
                               /*deadline_us=*/0);
-  ASSERT_TRUE(f0.has_value());
+  ASSERT_TRUE(f0.admitted());
   // Requests 1 and 2: default 2 ms deadline; expire while the worker stalls.
   auto f1 = server.try_submit(eval_->scene(1).image, *task_,
                               ConfigKind::kQuantizedMultiTask);
@@ -785,18 +885,18 @@ TEST_F(RuntimeServing, ExpiredDeadlinesShedAtBatchFormation) {
   auto f3 = server.try_submit(eval_->scene(3).image, *task_,
                               ConfigKind::kQuantizedMultiTask,
                               /*deadline_us=*/60'000'000);
-  ASSERT_TRUE(f1.has_value() && f2.has_value() && f3.has_value());
+  ASSERT_TRUE(f1.admitted() && f2.admitted() && f3.admitted());
 
   std::this_thread::sleep_for(std::chrono::milliseconds(20));  // > 2 ms
   release.store(true);
   server.shutdown();
 
-  expect_same_detections(f0->get().detections,
+  expect_same_detections(f0.future->get().detections,
                          fw_->detect(eval_->scene(0).image, *task_,
                                      ConfigKind::kQuantizedMultiTask));
-  EXPECT_THROW(f1->get(), DeadlineExceeded);
-  EXPECT_THROW(f2->get(), DeadlineExceeded);
-  expect_same_detections(f3->get().detections,
+  EXPECT_THROW(f1.future->get(), DeadlineExceeded);
+  EXPECT_THROW(f2.future->get(), DeadlineExceeded);
+  expect_same_detections(f3.future->get().detections,
                          fw_->detect(eval_->scene(3).image, *task_,
                                      ConfigKind::kQuantizedMultiTask));
   EXPECT_EQ(server.metrics().counter("requests_expired").value(), 2);
@@ -845,15 +945,15 @@ TEST_F(RuntimeServing, FakeClockMakesStageTimelineExact) {
       clock.advance_us(40);  // "batch formation took 40 us"
     }
   };
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
 
   auto f0 = server.try_submit(eval_->scene(0).image, *task_,
                               ConfigKind::kQuantizedMultiTask);
-  ASSERT_TRUE(f0.has_value());
+  ASSERT_TRUE(f0.admitted());
   clock.advance_us(100);  // request 1 admitted at t=1100
   auto f1 = server.try_submit(eval_->scene(1).image, *task_,
                               ConfigKind::kQuantizedMultiTask);
-  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f1.admitted());
   clock.advance_us(250);  // t=1350 when the stalled worker resumes
   release.store(true);
   server.shutdown();
@@ -861,16 +961,18 @@ TEST_F(RuntimeServing, FakeClockMakesStageTimelineExact) {
   // Request 1 was picked at exactly t=1350 (the worker was blocked in
   // request 0's injector until after the last main-thread advance), its
   // injector advanced the clock 40 us, and inference itself advanced it 0.
-  const InferenceResult r1 = f1->get();
+  const InferenceResult r1 = f1.future->get();
   EXPECT_EQ(r1.timeline.admitted_us, 1100);
   EXPECT_EQ(r1.timeline.picked_us, 1350);
   EXPECT_EQ(r1.timeline.infer_start_us, 1390);
   EXPECT_EQ(r1.timeline.infer_end_us, 1390);
+  EXPECT_EQ(r1.timeline.snapshot_version, (*snap_)->version());
+  EXPECT_EQ(r1.snapshot_version, (*snap_)->version());
   EXPECT_EQ(r1.queue_us, 250.0);
   EXPECT_EQ(r1.batch_formation_us, 40.0);
   EXPECT_EQ(r1.infer_us, 0.0);
   EXPECT_EQ(r1.total_us, 290.0);
-  EXPECT_EQ(f0->get().request_id, 0);  // request 0 completed too
+  EXPECT_EQ(f0.future->get().request_id, 0);  // request 0 completed too
 
   // Both requests fed the stage histograms; no clock advance happened
   // during either inference, so the infer stage saw exactly {0, 0}.
@@ -931,7 +1033,7 @@ TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
   opts.max_batch = 6;
   opts.max_wait_us = 300;
   opts.queue_capacity = 256;
-  InferenceServer server(*fw_, opts);
+  InferenceServer server(*snap_, opts);
 
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 32;
@@ -952,9 +1054,9 @@ TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
                                       : ConfigKind::kQuantizedMultiTask;
         while (true) {  // retry on backpressure so all submissions land
           auto f = server.try_submit(eval_->scene(scene).image, *task_, config);
-          if (f.has_value()) {
+          if (f.admitted()) {
             per_producer[static_cast<size_t>(p)].push_back(
-                Submitted{std::move(*f), scene, config});
+                Submitted{std::move(*f.future), scene, config});
             break;
           }
           std::this_thread::yield();
@@ -982,6 +1084,197 @@ TEST_F(RuntimeServing, MultiProducerStressMixedConfigs) {
   const auto batch_sizes = server.metrics().histogram("batch_size").snapshot();
   EXPECT_GE(batch_sizes.max, 1.0);
   EXPECT_LE(batch_sizes.max, static_cast<double>(opts.max_batch));
+}
+
+TEST_F(RuntimeServing, ConstMetricsAccessorServesScrapes) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  InferenceServer server(*snap_, opts);
+  auto f = server.try_submit(eval_->scene(0).image, *task_,
+                             ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f.admitted());
+  f.future->get();
+  // The const overload views the same registry the server writes to…
+  const InferenceServer& viewer = server;
+  EXPECT_EQ(&viewer.metrics(), &server.metrics());
+  // …and feeds the exposition/scrape path without mutable access.
+  const std::string text = to_prometheus(collect(viewer.metrics()));
+  EXPECT_NE(text.find("itask_requests_completed 1"), std::string::npos);
+  EXPECT_NE(text.find("itask_snapshots_published 1"), std::string::npos);
+  EXPECT_NE(text.find("itask_tasks_onboarded 0"), std::string::npos);
+  // A PeriodicReporter runs off the same const reference.
+  std::mutex mu;
+  std::vector<std::string> renders;
+  {
+    PeriodicReporter reporter(viewer.metrics(), std::chrono::milliseconds(5),
+                              [&](const std::string& s) {
+                                std::lock_guard<std::mutex> lock(mu);
+                                renders.push_back(s);
+                              });
+  }
+  ASSERT_FALSE(renders.empty());
+  EXPECT_NE(renders.back().find("itask_requests_completed 1"),
+            std::string::npos);
+}
+
+TEST_F(RuntimeServing, ServesTextDefinedTaskOnQuantizedPath) {
+  // A task defined from free-form text only (no ground-truth spec) is a
+  // first-class serving citizen on the quantized path: its KG compiles to
+  // matcher vectors, a snapshot carries them, and the server admits and
+  // serves requests whose relevance comes from KG matching.
+  const TaskHandle adhoc =
+      fw_->define_task_from_text("find fragile items to pack");
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  opts.max_wait_us = 300;
+  InferenceServer server(fw_->publish(), opts);
+  // No student was distilled for it: task-specific admission refuses.
+  EXPECT_THROW(server.try_submit(eval_->scene(0).image, adhoc,
+                                 ConfigKind::kTaskSpecific),
+               std::invalid_argument);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int64_t i = 0; i < eval_->size(); ++i) {
+    auto f = server.try_submit(eval_->scene(i).image, adhoc,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.admitted());
+    futures.push_back(std::move(*f.future));
+  }
+  server.shutdown();
+
+  int64_t total_detections = 0;
+  for (int64_t i = 0; i < eval_->size(); ++i) {
+    InferenceResult r = futures[static_cast<size_t>(i)].get();
+    const auto serial = fw_->detect(eval_->scene(i).image, adhoc,
+                                    ConfigKind::kQuantizedMultiTask);
+    expect_same_detections(r.detections, serial);
+    for (const auto& d : r.detections) {
+      // KG-matched relevance: the task score is the matcher's, not a
+      // relevance head's, and every kept detection passed its threshold.
+      EXPECT_GT(d.task_score, 0.0f);
+      EXPECT_LE(d.task_score, 1.0f);
+      ++total_detections;
+    }
+  }
+  EXPECT_GT(total_detections, 0) << "24 scenes should contain fragile items";
+}
+
+TEST_F(RuntimeServing, LiveOnboardingServesThroughPublishes) {
+  // The zero-downtime acceptance property: one thread streams requests for
+  // an existing task while this thread onboards two new tasks end to end
+  // (define → prepare → publish → install). Admission never fails for the
+  // streaming task, nothing is shed or failed, every result is element-wise
+  // identical to the serial path, and each new task serves correctly the
+  // moment its snapshot is installed. Run under -DITASK_SANITIZE=thread.
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  opts.max_wait_us = 300;
+  opts.queue_capacity = 128;
+  InferenceServer server(fw_->publish(), opts);
+  const int64_t base_version = server.current_snapshot()->version();
+
+  struct Streamed {
+    std::future<InferenceResult> future;
+    int64_t scene = 0;
+    ConfigKind config = ConfigKind::kQuantizedMultiTask;
+  };
+  std::vector<Streamed> streamed;
+  std::atomic<bool> stop{false};
+  // The streaming thread touches ONLY the server (never the Framework —
+  // define/prepare are not thread-safe against detect/evaluate); serial
+  // comparisons happen after it joins.
+  std::thread streamer([&] {
+    Rng rng(4242);
+    while (!stop.load()) {
+      const int64_t scene = rng.randint(0, eval_->size() - 1);
+      const ConfigKind config = rng.bernoulli(0.5)
+                                    ? ConfigKind::kTaskSpecific
+                                    : ConfigKind::kQuantizedMultiTask;
+      auto f = server.try_submit(eval_->scene(scene).image, task_->id, config);
+      if (f.admitted()) {
+        streamed.push_back(Streamed{std::move(*f.future), scene, config});
+      } else {
+        // Backpressure is the only acceptable rejection while live.
+        EXPECT_EQ(f.reject, RejectReason::kQueueFull);
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  // Onboard two tasks while the stream runs. Each becomes servable the
+  // instant its snapshot is installed — no pause, no failed requests.
+  std::vector<TaskHandle> onboarded;
+  for (const int64_t library_task : {3, 4}) {
+    TaskHandle task = fw_->define_task(data::task_by_id(library_task));
+    fw_->prepare_task_specific(task);
+    server.install_snapshot(fw_->publish());
+    const auto now = server.current_snapshot();
+    EXPECT_TRUE(now->servable(task.id, ConfigKind::kTaskSpecific));
+    EXPECT_TRUE(now->servable(task.id, ConfigKind::kQuantizedMultiTask));
+    // Requests admitted after the install serve the new task immediately.
+    // (Retry on backpressure only — the streamer keeps the queue busy;
+    // admission itself must accept the new task from the very first try.)
+    for (const ConfigKind config :
+         {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+      while (true) {
+        auto f = server.try_submit(eval_->scene(0).image, task, config);
+        if (!f.admitted()) {
+          ASSERT_EQ(f.reject, RejectReason::kQueueFull);
+          std::this_thread::yield();
+          continue;
+        }
+        const InferenceResult r = f.future->get();
+        EXPECT_GE(r.snapshot_version, now->version());
+        break;
+      }
+    }
+    onboarded.push_back(std::move(task));
+  }
+  stop.store(true);
+  streamer.join();
+  server.shutdown();
+
+  // Every admitted streamed request completed (futures all fulfilled, no
+  // exceptions): zero failures or sheds attributable to the swaps.
+  int64_t streamed_before = 0;
+  int64_t streamed_after = 0;
+  for (auto& s : streamed) {
+    InferenceResult r = s.future.get();
+    EXPECT_GE(r.snapshot_version, base_version);
+    EXPECT_LE(r.snapshot_version, base_version + 2);
+    (r.snapshot_version == base_version ? streamed_before : streamed_after)++;
+    // Identity holds whichever snapshot version served the request: the
+    // streaming task's models were published before onboarding began and
+    // prepare_* replaces rather than mutates, so every version serves the
+    // same weights for it.
+    const auto serial = fw_->detect(eval_->scene(s.scene).image, *task_,
+                                    s.config);
+    expect_same_detections(r.detections, serial);
+  }
+  EXPECT_GT(streamed_before + streamed_after, 0);
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 0);
+  EXPECT_EQ(server.metrics().counter("requests_expired").value(), 0);
+  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 0);
+  EXPECT_EQ(server.metrics().counter("snapshots_published").value(), 3);
+  EXPECT_EQ(server.metrics().counter("tasks_onboarded").value(), 2);
+
+  // The onboarded tasks' serving results match their serial paths too.
+  for (const TaskHandle& task : onboarded) {
+    const auto snapshot = server.current_snapshot();
+    Tensor images({4, 3, 24, 24});
+    for (int64_t i = 0; i < 4; ++i) images.set_index(i, eval_->scene(i).image);
+    for (const ConfigKind config :
+         {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+      const auto serial = fw_->detect_batch(images, task, config);
+      const auto served = snapshot->infer_batch(images, task.id, config);
+      ASSERT_EQ(serial.size(), served.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        expect_same_detections(served[i], serial[i]);
+      }
+    }
+  }
 }
 
 }  // namespace

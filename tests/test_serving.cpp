@@ -2,6 +2,8 @@
 // statistics invariants.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/serving.h"
 
 namespace itask::core {
@@ -101,6 +103,34 @@ TEST(Serving, StrategyNames) {
                "task_specific_fleet");
   EXPECT_STREQ(serving_strategy_name(ServingStrategy::kQuantizedSingle),
                "quantized_single");
+}
+
+TEST(Serving, SweepRowsMatchHistoricalPrintfLayout) {
+  // The fmt-based renders must be byte-identical to the printf layouts the
+  // recorded F4 tables in EXPERIMENTS.md were produced with:
+  //   "%8.2f | %9.1f / %9.1f | %9.1f / %9.1f"  and
+  //   "%8lld | %12.0f | %12.0f | %7.1f us".
+  ServingReport fleet;
+  fleet.mean_latency_us = 1234.56;
+  fleet.p99_latency_us = 9876.54;
+  fleet.effective_fps = 810.4;
+  fleet.swap_us = 321.95;
+  ServingReport single;
+  single.mean_latency_us = 88.0;
+  single.p99_latency_us = 90.12;
+  single.effective_fps = 11364.6;
+
+  char expected[128];
+  std::snprintf(expected, sizeof(expected),
+                "%8.2f | %9.1f / %9.1f | %9.1f / %9.1f", 0.25,
+                fleet.mean_latency_us, fleet.p99_latency_us,
+                single.mean_latency_us, single.p99_latency_us);
+  EXPECT_EQ(serving_switch_sweep_row(0.25, fleet, single), expected);
+
+  std::snprintf(expected, sizeof(expected), "%8lld | %12.0f | %12.0f | %7.1f us",
+                16LL, fleet.effective_fps, single.effective_fps,
+                fleet.swap_us);
+  EXPECT_EQ(serving_task_sweep_row(16, fleet, single), expected);
 }
 
 }  // namespace
