@@ -255,6 +255,17 @@ bool Framework::is_prepared(const TaskHandle& task, ConfigKind config) const {
 }
 
 std::shared_ptr<const DeploymentSnapshot> Framework::publish() {
+  // Publish-time weight pre-packing: snapshots are immutable and shared, so
+  // every captured model's weights are packed into the kernels' panel
+  // layout once here, and requests served from the snapshot skip the
+  // per-call B/W pack entirely. Safe by construction: a model's first
+  // prepack happens before any snapshot holding it exists, prepack is a
+  // write-free no-op once packed (so re-publishing a model an installed
+  // snapshot already serves races with nothing), and prepare_* replaces
+  // model objects rather than retraining them, so a cache never goes stale
+  // on the serving path.
+  for (auto& [slot, student] : students_) student->prepack_for_serving();
+  if (quantized_ != nullptr) quantized_->prepack();
   std::map<kg::TaskId, std::shared_ptr<const vit::VitModel>> students;
   for (const auto& [slot, student] : students_) {
     students.emplace(kg::TaskId{slot}, student);

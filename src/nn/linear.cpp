@@ -36,12 +36,29 @@ Tensor Linear::infer(const Tensor& input) const {
   ITASK_CHECK(input.dim(input.ndim() - 1) == in_features_,
               "Linear: trailing dim mismatch");
   const int64_t rows = input.numel() / in_features_;
-  Tensor y = ops::matmul_bt(input.reshape({rows, in_features_}),
-                            weight_.value);  // [rows, out]
+  Tensor y;
+  if (packed_ != nullptr) {
+    // Published model: the weight panels were packed once at publish time.
+    // gemm_bt_prepacked is bit-identical to gemm_bt, so this path stays
+    // arithmetically identical to forward().
+    const Tensor x2d = input.reshape({rows, in_features_});
+    y = Tensor({rows, out_features_});
+    gemm::gemm_bt_prepacked(x2d.data().data(), *packed_, y.data().data(),
+                            rows);
+  } else {
+    y = ops::matmul_bt(input.reshape({rows, in_features_}),
+                       weight_.value);  // [rows, out]
+  }
   if (bias_ != nullptr) y = ops::add_rowwise(y, bias_->value);
   Shape out_shape = input.shape();
   out_shape.back() = out_features_;
   return y.reshape(std::move(out_shape));
+}
+
+void Linear::prepack_for_serving() {
+  if (packed_ != nullptr) return;  // idempotent — no writes once packed
+  packed_ = std::make_shared<const gemm::PackedB>(gemm::pack_weights_bt(
+      weight_.value.data().data(), in_features_, out_features_));
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -1,7 +1,10 @@
 // Fully-connected layer with cached-input backward.
 #pragma once
 
+#include <memory>
+
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "tensor/rng.h"
 
 namespace itask::nn {
@@ -23,6 +26,14 @@ class Linear : public Module {
   /// Accumulates dW/db and returns dL/dinput (same shape as the cached input).
   Tensor backward(const Tensor& grad_out);
 
+  /// Packs the weight into the k-major panel cache gemm_bt_prepacked
+  /// consumes, so infer() skips the per-call B pack. Publish-time only —
+  /// forward()/backward() keep the per-call pack (training weights change
+  /// every step and would go stale against the cache). Idempotent: once
+  /// packed, later calls are pure reads.
+  void prepack_for_serving() override;
+  bool prepacked() const { return packed_ != nullptr; }
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
@@ -34,6 +45,9 @@ class Linear : public Module {
   int64_t out_features_;
   Parameter& weight_;
   Parameter* bias_ = nullptr;
+  /// Serving-time cache built by prepack_for_serving(); shared so snapshots
+  /// holding the same model share one packing.
+  std::shared_ptr<const gemm::PackedB> packed_;
   Tensor cached_input_2d_;  // [rows, in]
   Shape cached_input_shape_;
 };

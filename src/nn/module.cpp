@@ -61,6 +61,10 @@ Parameter& Module::register_parameter(std::string name, Tensor init) {
   return *params_.back();
 }
 
+void Module::prepack_for_serving() {
+  for (auto& c : children_) c.module->prepack_for_serving();
+}
+
 void Module::register_child(std::string name, Module& child) {
   children_.push_back(Child{std::move(name), &child});
 }

@@ -56,6 +56,15 @@ class Module {
   /// mismatched entries throw.
   void load_state_dict(const io::StateDict& state);
 
+  /// Builds serving-time pre-packed weight caches in this module and every
+  /// child (nn::Linear overrides; the default just recurses). Invoked by
+  /// Framework::publish() on each model a DeploymentSnapshot captures. Call
+  /// only once the weights are final: training does NOT invalidate the
+  /// caches (the serving convention replaces model objects instead of
+  /// retraining them — see CLAUDE.md). Idempotent and write-free once
+  /// packed, so re-publishing an already-served model is thread-safe.
+  virtual void prepack_for_serving();
+
  protected:
   /// Creates and owns a parameter; the returned reference is stable.
   Parameter& register_parameter(std::string name, Tensor init);

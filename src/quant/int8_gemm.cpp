@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/kernel_pool.h"
 #include "tensor/profile.h"
 
 #if defined(__AVX512BW__)
@@ -50,8 +51,21 @@ constexpr int64_t kKC = 256;
 constexpr int64_t kMC = 128;
 constexpr int64_t kNC = 128;
 
+// Bounded like the fp32 workspaces (tensor/gemm.cpp): exact reservation, no
+// geometric overshoot, capacity ≤ one KC slab of panels per operand, storage
+// released on thread exit by the thread_local destructors.
 thread_local std::vector<int16_t> tl_apack;
 thread_local std::vector<int16_t> tl_wpack;
+
+int16_t* pack_workspace_i16(std::vector<int16_t>& ws, int64_t elems) {
+  const auto n = static_cast<size_t>(elems);
+  if (ws.capacity() < n) {
+    ws.clear();
+    ws.reserve(n);
+  }
+  ws.resize(n);
+  return ws.data();
+}
 
 inline int64_t pair_steps(int64_t kc) { return (kc + 1) / 2; }
 
@@ -164,6 +178,48 @@ void micro_kernel_i8(const int16_t* __restrict ap, const int16_t* __restrict wp,
 #endif
 }
 
+/// One MC slab of one (KC, NC) block: packs the slab's A panels into the
+/// calling thread's workspace and runs the int8 micro-kernel grid against an
+/// already-packed W block — the unit of work the kernel pool distributes.
+/// Disjoint C rows per slab + unchanged per-element accumulation order keep
+/// the split bit-exact (and integer addition is associative anyway).
+void run_mc_slab_i8(const int8_t* a, int64_t k, int64_t ic, int64_t m,
+                    int64_t pc, int64_t kc, int64_t jc, int64_t npanels,
+                    const int16_t* wpack, int32_t* acc, int64_t n,
+                    const int32_t* corr, bool first) {
+  const int64_t plen = 2 * pair_steps(kc);
+  const int64_t mc = std::min(kMC, m - ic);
+  const int64_t mpanels = (mc + kMR - 1) / kMR;
+  int16_t* apack = pack_workspace_i16(tl_apack, mpanels * kMR * plen);
+  {
+    ITASK_PROFILE_SCOPE(profile::Section::kInt8Pack);
+    pack_rows(a, k, ic, mc, pc, kc, kMR, apack);
+  }
+  ITASK_PROFILE_SCOPE(profile::Section::kInt8Kernel);
+  for (int64_t pi = 0; pi < mpanels; ++pi) {
+    const int64_t i = ic + pi * kMR;
+    const int64_t mr = std::min(kMR, m - i);
+    for (int64_t pj = 0; pj < npanels; ++pj) {
+      const int64_t j = jc + pj * kNR;
+      micro_kernel_i8(apack + pi * kMR * plen, wpack + pj * kNR * plen, kc,
+                      acc + i * n + j, n, corr + j, mr, std::min(kNR, n - j),
+                      first);
+    }
+  }
+}
+
+/// Runs every MC slab of one (KC, NC) block, splitting across the kernel
+/// pool when enabled, free, and past the row threshold.
+template <typename SlabFn>
+void for_each_mc_slab(int64_t m, const SlabFn& slab) {
+  const int64_t nslabs = (m + kMC - 1) / kMC;
+  if (m >= gemm::kKernelPoolMinRows) {
+    gemm::parallel_slabs(nslabs, [&](int64_t s) { slab(s * kMC); });
+    return;
+  }
+  for (int64_t s = 0; s < nslabs; ++s) slab(s * kMC);
+}
+
 }  // namespace
 
 void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
@@ -191,37 +247,93 @@ void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
     for (int64_t jc = 0; jc < n; jc += kNC) {
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t npanels = (nc + kNR - 1) / kNR;
-      tl_wpack.resize(static_cast<size_t>(npanels * kNR * plen));
+      int16_t* wpack = pack_workspace_i16(tl_wpack, npanels * kNR * plen);
       {
         // Profiling hooks at cache-block granularity (see tensor/profile.h):
         // one relaxed atomic load per block when disabled.
         ITASK_PROFILE_SCOPE(profile::Section::kInt8Pack);
         // W is [n, k] row-major — the same rows-into-panels pack as A.
-        pack_rows(w.data(), k, jc, nc, pc, kc, kNR, tl_wpack.data());
+        pack_rows(w.data(), k, jc, nc, pc, kc, kNR, wpack);
       }
-      for (int64_t ic = 0; ic < m; ic += kMC) {
-        const int64_t mc = std::min(kMC, m - ic);
-        const int64_t mpanels = (mc + kMR - 1) / kMR;
-        tl_apack.resize(static_cast<size_t>(mpanels * kMR * plen));
-        {
-          ITASK_PROFILE_SCOPE(profile::Section::kInt8Pack);
-          pack_rows(a.data(), k, ic, mc, pc, kc, kMR, tl_apack.data());
-        }
-        ITASK_PROFILE_SCOPE(profile::Section::kInt8Kernel);
-        for (int64_t pi = 0; pi < mpanels; ++pi) {
-          const int64_t i = ic + pi * kMR;
-          const int64_t mr = std::min(kMR, m - i);
-          for (int64_t pj = 0; pj < npanels; ++pj) {
-            const int64_t j = jc + pj * kNR;
-            micro_kernel_i8(tl_apack.data() + pi * kMR * plen,
-                            tl_wpack.data() + pj * kNR * plen, kc,
-                            acc.data() + i * n + j, n, corr.data() + j, mr,
-                            std::min(kNR, n - j), first);
-          }
-        }
-      }
+      for_each_mc_slab(m, [&](int64_t ic) {
+        run_mc_slab_i8(a.data(), k, ic, m, pc, kc, jc, npanels, wpack,
+                       acc.data(), n, corr.data(), first);
+      });
     }
   }
+}
+
+PackedWeightInt8 pack_weights_int8(std::span<const int8_t> w, int64_t n,
+                                   int64_t k) {
+  ITASK_CHECK(static_cast<int64_t>(w.size()) == n * k,
+              "pack_weights_int8: w size");
+  PackedWeightInt8 out;
+  out.k = k;
+  out.n = n;
+  if (k <= 0 || n <= 0) return out;
+  size_t total = 0;
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t plen = 2 * pair_steps(std::min(kKC, k - pc));
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      total += static_cast<size_t>(((nc + kNR - 1) / kNR) * kNR * plen);
+    }
+  }
+  out.data.resize(total);
+  int16_t* dst = out.data.data();
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    const int64_t plen = 2 * pair_steps(kc);
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      const int64_t npanels = (nc + kNR - 1) / kNR;
+      pack_rows(w.data(), k, jc, nc, pc, kc, kNR, dst);
+      dst += npanels * kNR * plen;
+    }
+  }
+  return out;
+}
+
+void int8_gemm_bt_prepacked(std::span<const int8_t> a, int32_t a_zero_point,
+                            const PackedWeightInt8& w,
+                            std::span<const int32_t> w_row_sums,
+                            std::span<int32_t> acc, int64_t m) {
+  const int64_t k = w.k;
+  const int64_t n = w.n;
+  ITASK_CHECK(static_cast<int64_t>(a.size()) == m * k, "int8_gemm: a size");
+  ITASK_CHECK(static_cast<int64_t>(acc.size()) == m * n, "int8_gemm: acc size");
+  ITASK_CHECK(static_cast<int64_t>(w_row_sums.size()) == n,
+              "int8_gemm: row_sums size");
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::fill(acc.begin(), acc.end(), 0);
+    return;
+  }
+  ITASK_PROFILE_COUNT(profile::Counter::kInt8PrepackedCalls, 1);
+  ITASK_PROFILE_COUNT(profile::Counter::kInt8PackBytesAvoided, w.bytes());
+  std::vector<int32_t> corr(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) corr[j] = a_zero_point * w_row_sums[j];
+  const int16_t* block = w.data.data();
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    const int64_t plen = 2 * pair_steps(kc);
+    const bool first = pc == 0;
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      const int64_t npanels = (nc + kNR - 1) / kNR;
+      for_each_mc_slab(m, [&](int64_t ic) {
+        run_mc_slab_i8(a.data(), k, ic, m, pc, kc, jc, npanels, block,
+                       acc.data(), n, corr.data(), first);
+      });
+      block += npanels * kNR * plen;
+    }
+  }
+}
+
+void QuantizedWeight::prepack() {
+  if (packed != nullptr) return;  // idempotent — no writes once packed
+  packed = std::make_shared<const PackedWeightInt8>(
+      pack_weights_int8(data, out, in));
 }
 
 Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
@@ -237,12 +349,23 @@ Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
     qx = quantize_tensor(x, act);
   }
   std::vector<int32_t> acc(static_cast<size_t>(rows * out));
+  std::vector<int32_t> fallback_sums;  // hand-built weight, no finalize table
+  std::span<const int32_t> sums;
   if (static_cast<int64_t>(weight.row_sums.size()) == out) {
-    int8_gemm_bt_packed(qx, act.zero_point, weight.data, weight.row_sums, acc,
-                        rows, in, out);
-  } else {  // hand-built weight without the finalize()-time table
-    int8_gemm_bt_packed(qx, act.zero_point, weight.data,
-                        weight_row_sums(weight.data, out, in), acc, rows, in,
+    sums = weight.row_sums;
+  } else {
+    fallback_sums = weight_row_sums(weight.data, out, in);
+    sums = fallback_sums;
+  }
+  if (weight.packed != nullptr) {
+    // Publish-time pre-packed weight (QuantizedWeight::prepack): skip the
+    // per-call W pack. Bit-identical to the pack-per-call path.
+    ITASK_CHECK(weight.packed->k == in && weight.packed->n == out,
+                "qlinear_forward: packed cache shape mismatch");
+    int8_gemm_bt_prepacked(qx, act.zero_point, *weight.packed, sums, acc,
+                           rows);
+  } else {
+    int8_gemm_bt_packed(qx, act.zero_point, weight.data, sums, acc, rows, in,
                         out);
   }
   // Dequant scale per output column (activation scale × per-row weight

@@ -35,6 +35,35 @@ void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
                          std::span<int32_t> acc, int64_t m, int64_t k,
                          int64_t n);
 
+/// A weight matrix widened and packed ONCE into the int16 k-pair NR-lane
+/// panels int8_gemm_bt_packed otherwise builds per call (the vpmaddwd /
+/// AVX512-VNNI operand shape), stored in the (KC-slab, NC-slab) order the
+/// driver visits them. Built at publish time via QuantizedWeight::prepack();
+/// read-only after construction, safe to share across inference workers.
+struct PackedWeightInt8 {
+  int64_t k = 0;  // inner (reduction) extent
+  int64_t n = 0;  // output columns (= weight rows in the [N,K] layout)
+  std::vector<int16_t> data;
+
+  int64_t bytes() const {
+    return static_cast<int64_t>(data.size() * sizeof(int16_t));
+  }
+};
+
+/// Packs a row-major [N, K] int8 weight matrix for int8_gemm_bt_prepacked.
+PackedWeightInt8 pack_weights_int8(std::span<const int8_t> w, int64_t n,
+                                   int64_t k);
+
+/// int8_gemm_bt_packed with the weight pre-packed. Integer addition is
+/// associative and the panels/loop order are identical, so this is
+/// bit-identical to both packed and naive variants — including when the
+/// kernel pool (tensor/kernel_pool.h) splits the MC-slab loop across
+/// threads for m ≥ gemm::kKernelPoolMinRows.
+void int8_gemm_bt_prepacked(std::span<const int8_t> a, int32_t a_zero_point,
+                            const PackedWeightInt8& w,
+                            std::span<const int32_t> w_row_sums,
+                            std::span<int32_t> acc, int64_t m);
+
 /// Full quantized linear: quantizes `x` with `act`, runs the packed INT8
 /// GEMM against `weight`, and dequantizes with per-row weight scales, adding
 /// `bias`. x: [rows, in] FP32; returns [rows, out] FP32.

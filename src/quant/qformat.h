@@ -6,12 +6,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace itask::quant {
+
+struct PackedWeightInt8;  // quant/int8_gemm.h
 
 inline constexpr int32_t kQMin = -128;
 inline constexpr int32_t kQMax = 127;
@@ -58,11 +61,22 @@ struct QuantizedWeight {
   /// activation zero-point correction (a−zp)·w = a·w − zp·Σw needs no
   /// per-call weight pass.
   std::vector<int32_t> row_sums;  // size `out`
+  /// Serving-time cache: the weight pre-packed into the kernel's int16
+  /// k-pair panels (consumed by qlinear_forward → int8_gemm_bt_prepacked).
+  /// Null until prepack(); shared so snapshots holding the same model share
+  /// one packing.
+  std::shared_ptr<const PackedWeightInt8> packed;
 
   float scale_for_row(int64_t row) const {
     return scales.size() == 1 ? scales[0]
                               : scales[static_cast<size_t>(row)];
   }
+
+  /// Builds `packed` once (defined in int8_gemm.cpp). Idempotent: once
+  /// packed, later calls are pure reads, so re-publishing a model an
+  /// installed snapshot already serves performs no writes. Publish-time
+  /// only — quantized weights never change after finalize().
+  void prepack();
 };
 
 enum class WeightGranularity { kPerTensor, kPerChannel };

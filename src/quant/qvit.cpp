@@ -59,6 +59,11 @@ void QLinearLayer::finalize(const QuantOptions& options) {
   finalized_ = true;
 }
 
+void QLinearLayer::prepack() {
+  ITASK_CHECK(finalized_, "QLinearLayer: prepack before finalize");
+  qweight_.prepack();
+}
+
 QuantizedVit::QuantizedVit(const vit::ViTConfig& config,
                            const io::StateDict& state, QuantOptions options)
     : config_(config), options_(options) {
@@ -207,6 +212,23 @@ void QuantizedVit::finalize() {
   box_fc2_.finalize(options_);
   rel_head_.finalize(options_);
   finalized_ = true;
+}
+
+void QuantizedVit::prepack() {
+  ITASK_CHECK(finalized_, "QuantizedVit: prepack before finalize");
+  patch_proj_.prepack();
+  for (Block& blk : blocks_) {
+    blk.qkv.prepack();
+    blk.proj.prepack();
+    blk.fc1.prepack();
+    blk.fc2.prepack();
+  }
+  obj_head_.prepack();
+  cls_head_.prepack();
+  attr_head_.prepack();
+  box_fc1_.prepack();
+  box_fc2_.prepack();
+  rel_head_.prepack();
 }
 
 vit::VitOutput QuantizedVit::forward(const Tensor& images) const {

@@ -44,6 +44,12 @@ class QLinearLayer {
   void finalize(const QuantOptions& options);
   bool finalized() const { return finalized_; }
 
+  /// Builds the int16 k-pair panel cache int8_gemm_bt_prepacked consumes
+  /// (requires finalize()). Publish-time only; idempotent and write-free
+  /// once packed.
+  void prepack();
+  bool prepacked() const { return qweight_.packed != nullptr; }
+
   const QuantizedWeight& quantized_weight() const { return qweight_; }
   const QuantParams& activation_params() const { return act_; }
 
@@ -71,6 +77,12 @@ class QuantizedVit {
 
   /// Freezes activation ranges and quantizes all weights.
   void finalize();
+
+  /// Pre-packs every quantized layer's weight for the serving kernels
+  /// (requires finalize()). Framework::publish() calls this on the model a
+  /// snapshot captures; idempotent, so re-publishing an already-served
+  /// model performs no writes.
+  void prepack();
 
   /// INT8 inference. Output mirrors VitModel::forward. Const and cache-free
   /// once finalized, so many threads may run it on one model concurrently.

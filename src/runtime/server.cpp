@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "tensor/format.h"
+#include "tensor/kernel_pool.h"
 
 namespace itask::runtime {
 
@@ -33,6 +34,13 @@ InferenceServer::InferenceServer(
               "InferenceServer: max_wait_us must be >= 0");
   ITASK_CHECK(options_.deadline_us >= 0,
               "InferenceServer: deadline_us must be >= 0");
+  ITASK_CHECK(options_.kernel_threads >= 0,
+              "InferenceServer: kernel_threads must be >= 0");
+  // Opt-in multi-core kernels: size the process-wide pool the snapshot
+  // inference GEMMs split slab loops across. Left untouched at the default
+  // (0) so plain servers stay single-core per worker.
+  if (options_.kernel_threads > 0)
+    gemm::KernelPool::instance().configure(options_.kernel_threads);
   // Created up front so a scrape before the first install/request still sees
   // every counter with a stable value (the initial snapshot counts as one
   // publish; its tasks were never *onboarded* live).

@@ -102,6 +102,14 @@ struct RuntimeOptions {
   /// FakeClock::fn() for exact stage durations. Micro-batch max_wait
   /// blocking in the queue stays on the real clock regardless.
   ClockFn clock_us;
+  /// Lanes in the process-wide GEMM kernel pool (tensor/kernel_pool.h) that
+  /// snapshot inference may split MC-slab loops across once a micro-batch's
+  /// row count clears gemm::kKernelPoolMinRows. 0 (default) leaves every
+  /// kernel single-core — the repo-wide bench budget; bench_f6_runtime is
+  /// the sanctioned multi-core exception. Applied at server construction via
+  /// KernelPool::configure (the pool is shared process-wide and outlives the
+  /// server). Results are bit-exact at any setting.
+  int64_t kernel_threads = 0;
 };
 
 /// Everything a client learns about one completed request. The stage spans

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "tensor/kernel_pool.h"
 #include "tensor/profile.h"
 
 namespace itask::gemm {
@@ -21,11 +22,26 @@ constexpr int64_t kNC = 128;
 enum class ALayout { kMK, kKM };  // row-major [M,K] vs transposed [K,M]
 enum class BLayout { kKN, kNK };  // row-major [K,N] vs transposed [N,K]
 
-// Per-thread packing workspaces: grown once, reused across calls. Thread-
-// local keeps the concurrent infer paths (runtime worker pool) contention-
-// and race-free.
+// Per-thread packing workspaces, reused across calls. Thread-local keeps the
+// concurrent infer paths (runtime workers, kernel-pool lanes) contention-
+// and race-free. Growth is bounded: pack_workspace() reserves exactly the
+// requested slab (no geometric resize() overshoot) and no slab exceeds
+// kMC·kKC (A) / kNC·kKC (B) floats — 128 KiB each — so per-thread footprint
+// never passes pack_workspace_cap_bytes(). The thread_local storage itself
+// is released by the vector destructors when the owning thread exits.
 thread_local std::vector<float> tl_apack;
 thread_local std::vector<float> tl_bpack;
+
+float* pack_workspace(std::vector<float>& ws, int64_t elems) {
+  const auto n = static_cast<size_t>(elems);
+  if (ws.capacity() < n) {
+    ws.clear();     // nothing persists across calls — skip the copy…
+    ws.reserve(n);  // …and allocate exactly n, capping capacity at the
+                    // largest slab ever requested (≤ the blocking extents).
+  }
+  ws.resize(n);
+  return ws.data();
+}
 
 // GCC/Clang vector extension: an NR-wide float lane. The explicit type is
 // what makes the micro-kernel compile to broadcast-FMA — GCC 12's auto-
@@ -148,6 +164,46 @@ void micro_kernel(const float* __restrict ap, const float* __restrict bp,
 #endif
 }
 
+/// One MC slab of one (KC, NC) block: packs the slab's A panels into the
+/// calling thread's workspace and runs the micro-kernel grid against an
+/// already-packed B block. The unit of work the kernel pool distributes —
+/// each slab writes a disjoint C row range, and each element's accumulation
+/// order is exactly the serial loop's, so splitting slabs across threads is
+/// bit-exact.
+void run_mc_slab(const float* a, ALayout alay, int64_t lda, int64_t ic,
+                 int64_t m, int64_t pc, int64_t kc, int64_t jc,
+                 int64_t npanels, const float* bpack, float* c, int64_t n) {
+  const int64_t mc = std::min(kMC, m - ic);
+  const int64_t mpanels = (mc + kMR - 1) / kMR;
+  float* apack = pack_workspace(tl_apack, mpanels * kMR * kc);
+  {
+    ITASK_PROFILE_SCOPE(profile::Section::kGemmPack);
+    pack_a(a, alay, lda, ic, mc, pc, kc, apack);
+  }
+  ITASK_PROFILE_SCOPE(profile::Section::kGemmKernel);
+  for (int64_t pi = 0; pi < mpanels; ++pi) {
+    const int64_t i = ic + pi * kMR;
+    const int64_t mr = std::min(kMR, m - i);
+    for (int64_t pj = 0; pj < npanels; ++pj) {
+      const int64_t j = jc + pj * kNR;
+      micro_kernel(apack + pi * kMR * kc, bpack + pj * kNR * kc, kc,
+                   c + i * n + j, n, mr, std::min(kNR, n - j));
+    }
+  }
+}
+
+/// Runs every MC slab of one (KC, NC) block, splitting across the kernel
+/// pool when it is enabled, free, and the shape clears the row threshold.
+template <typename SlabFn>
+void for_each_mc_slab(int64_t m, const SlabFn& slab) {
+  const int64_t nslabs = (m + kMC - 1) / kMC;
+  if (m >= kKernelPoolMinRows) {
+    parallel_slabs(nslabs, [&](int64_t s) { slab(s * kMC); });
+    return;
+  }
+  for (int64_t s = 0; s < nslabs; ++s) slab(s * kMC);
+}
+
 /// Five-loop blocked driver; the public variants differ only in the layout
 /// tags handed to the packers.
 void gemm_driver(const float* a, ALayout alay, const float* b, BLayout blay,
@@ -160,34 +216,17 @@ void gemm_driver(const float* a, ALayout alay, const float* b, BLayout blay,
     for (int64_t jc = 0; jc < n; jc += kNC) {
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t npanels = (nc + kNR - 1) / kNR;
-      tl_bpack.resize(static_cast<size_t>(npanels * kNR * kc));
+      float* bpack = pack_workspace(tl_bpack, npanels * kNR * kc);
       {
         // Profiling hooks sit at cache-block granularity: one relaxed
         // atomic load per block when disabled, never inside the micro-
         // kernel loop.
         ITASK_PROFILE_SCOPE(profile::Section::kGemmPack);
-        pack_b(b, blay, ldb, pc, kc, jc, nc, tl_bpack.data());
+        pack_b(b, blay, ldb, pc, kc, jc, nc, bpack);
       }
-      for (int64_t ic = 0; ic < m; ic += kMC) {
-        const int64_t mc = std::min(kMC, m - ic);
-        const int64_t mpanels = (mc + kMR - 1) / kMR;
-        tl_apack.resize(static_cast<size_t>(mpanels * kMR * kc));
-        {
-          ITASK_PROFILE_SCOPE(profile::Section::kGemmPack);
-          pack_a(a, alay, lda, ic, mc, pc, kc, tl_apack.data());
-        }
-        ITASK_PROFILE_SCOPE(profile::Section::kGemmKernel);
-        for (int64_t pi = 0; pi < mpanels; ++pi) {
-          const int64_t i = ic + pi * kMR;
-          const int64_t mr = std::min(kMR, m - i);
-          for (int64_t pj = 0; pj < npanels; ++pj) {
-            const int64_t j = jc + pj * kNR;
-            micro_kernel(tl_apack.data() + pi * kMR * kc,
-                         tl_bpack.data() + pj * kNR * kc, kc, c + i * n + j,
-                         n, mr, std::min(kNR, n - j));
-          }
-        }
-      }
+      for_each_mc_slab(m, [&](int64_t ic) {
+        run_mc_slab(a, alay, lda, ic, m, pc, kc, jc, npanels, bpack, c, n);
+      });
     }
   }
 }
@@ -207,6 +246,63 @@ void gemm_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void gemm_at(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n) {
   gemm_driver(a, ALayout::kKM, b, BLayout::kKN, c, m, k, n);
+}
+
+PackedB pack_weights_bt(const float* b, int64_t k, int64_t n) {
+  PackedB out;
+  out.k = k;
+  out.n = n;
+  if (k <= 0 || n <= 0) return out;
+  size_t total = 0;
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      total += static_cast<size_t>(((nc + kNR - 1) / kNR) * kNR * kc);
+    }
+  }
+  out.data.resize(total);
+  float* dst = out.data.data();
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      const int64_t npanels = (nc + kNR - 1) / kNR;
+      pack_b(b, BLayout::kNK, k, pc, kc, jc, nc, dst);
+      dst += npanels * kNR * kc;
+    }
+  }
+  return out;
+}
+
+void gemm_bt_prepacked(const float* a, const PackedB& b, float* c, int64_t m) {
+  const int64_t k = b.k;
+  const int64_t n = b.n;
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  ITASK_PROFILE_COUNT(profile::Counter::kGemmPrepackedCalls, 1);
+  ITASK_PROFILE_COUNT(profile::Counter::kGemmPackBytesAvoided, b.bytes());
+  const float* block = b.data.data();
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      const int64_t npanels = (nc + kNR - 1) / kNR;
+      for_each_mc_slab(m, [&](int64_t ic) {
+        run_mc_slab(a, ALayout::kMK, k, ic, m, pc, kc, jc, npanels, block, c,
+                    n);
+      });
+      block += npanels * kNR * kc;
+    }
+  }
+}
+
+int64_t pack_workspace_bytes() {
+  return static_cast<int64_t>((tl_apack.capacity() + tl_bpack.capacity()) *
+                              sizeof(float));
+}
+
+int64_t pack_workspace_cap_bytes() {
+  return static_cast<int64_t>((kMC * kKC + kNC * kKC) * sizeof(float));
 }
 
 namespace reference {

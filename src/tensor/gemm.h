@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace itask::gemm {
 
@@ -42,6 +43,44 @@ void gemm_bt(const float* a, const float* b, float* c, int64_t m, int64_t k,
 /// C[M,N] += A[K,M]ᵀ · B[K,N] (the weight-gradient layout).
 void gemm_at(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n);
+
+/// A weight matrix packed ONCE into the exact k-major NR-column panels the
+/// blocked driver otherwise builds per call, stored in the (KC-slab,
+/// NC-slab) order the driver visits them. Built at publish time for the
+/// immutable models a core::DeploymentSnapshot captures (nn::Linear::
+/// prepack_for_serving), so the per-request B pack on the serving path
+/// drops to zero. Read-only after construction — safe to share across
+/// concurrent inference workers.
+struct PackedB {
+  int64_t k = 0;  // inner (reduction) extent
+  int64_t n = 0;  // output columns (= weight rows in the [N,K] layout)
+  std::vector<float> data;
+
+  int64_t bytes() const {
+    return static_cast<int64_t>(data.size() * sizeof(float));
+  }
+};
+
+/// Packs a row-major [N, K] weight matrix (the Linear/Bᵀ layout) for
+/// gemm_bt_prepacked.
+PackedB pack_weights_bt(const float* b, int64_t k, int64_t n);
+
+/// C[M,N] += A[M,K] · Bᵀ with B pre-packed. Bit-identical to gemm_bt on the
+/// same operands: the panels, micro-kernel and loop order are the same —
+/// only where the packed B lives differs. When the kernel pool is enabled
+/// (tensor/kernel_pool.h) and m clears kKernelPoolMinRows, the MC-slab loop
+/// splits across threads; results stay bit-exact at any thread count.
+void gemm_bt_prepacked(const float* a, const PackedB& b, float* c, int64_t m);
+
+/// Capacity (bytes) of the calling thread's packing workspaces. Bounded by
+/// construction at pack_workspace_cap_bytes() — the workspaces reserve
+/// exactly what a slab needs (no geometric overshoot) and a slab never
+/// exceeds the KC×MC / KC×NC blocking extents. Storage is thread_local, so
+/// it is released automatically when the owning thread exits.
+int64_t pack_workspace_bytes();
+
+/// The documented per-thread workspace bound: one A slab + one B slab.
+int64_t pack_workspace_cap_bytes();
 
 /// The pre-kernel-layer naive triple loops, retained verbatim as the parity
 /// baseline for tests and the old-vs-new comparison in bench_k0_gemm. Same

@@ -1,0 +1,96 @@
+#include "tensor/kernel_pool.h"
+
+namespace itask::gemm {
+
+KernelPool& KernelPool::instance() {
+  static KernelPool pool;
+  return pool;
+}
+
+KernelPool::~KernelPool() {
+  std::lock_guard<std::mutex> user(user_mu_);
+  stop_workers_locked();
+}
+
+void KernelPool::configure(int64_t threads) {
+  std::lock_guard<std::mutex> user(user_mu_);  // waits out any in-flight run
+  stop_workers_locked();
+  if (threads <= 1) {
+    lanes_.store(threads <= 0 ? 0 : 1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int64_t t = 0; t + 1 < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+  lanes_.store(threads, std::memory_order_relaxed);
+}
+
+void KernelPool::stop_workers_locked() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  lanes_.store(0, std::memory_order_relaxed);
+}
+
+bool KernelPool::run(int64_t tasks, const std::function<void(int64_t)>& fn) {
+  if (tasks < 2 || threads() < 2) return false;
+  std::unique_lock<std::mutex> user(user_mu_, std::try_to_lock);
+  if (!user.owns_lock()) return false;  // pool busy — caller runs serially
+  if (threads() < 2) return false;      // raced with configure()
+  uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_ = 0;
+    completed_ = 0;
+    gen = ++generation_;
+  }
+  job_cv_.notify_all();
+  drain(gen);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return completed_ == tasks_; });
+  fn_ = nullptr;  // late-waking workers see no job (and a stale generation)
+  return true;
+}
+
+void KernelPool::drain(uint64_t gen) {
+  while (true) {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t index = -1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (generation_ != gen || fn_ == nullptr || next_ >= tasks_) return;
+      index = next_++;
+      fn = fn_;
+    }
+    (*fn)(index);
+    std::lock_guard<std::mutex> lk(mu_);
+    // The owner cannot retire the job (completed_ == tasks_) while any
+    // claimed index is still running, so `fn` above never outlives its job.
+    if (generation_ == gen && ++completed_ == tasks_) done_cv_.notify_all();
+  }
+}
+
+void KernelPool::worker_loop() {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain(seen);
+  }
+}
+
+}  // namespace itask::gemm

@@ -1,0 +1,98 @@
+// Fixed-size, opt-in worker pool for splitting GEMM slab loops
+// (tensor/gemm.cpp, quant/int8_gemm.cpp) across cores on the serving hot
+// path. Disabled by default: every kernel stays single-core — the repo-wide
+// bench budget — unless a caller opts in (RuntimeOptions::kernel_threads;
+// bench_f6_runtime is the sanctioned multi-core bench, see CLAUDE.md).
+//
+// Determinism contract: callers hand the pool whole MC slabs, each writing a
+// disjoint C row range, and every element's accumulation order is identical
+// to the serial loop (the KC slab loop stays serial in the caller). Results
+// are therefore bit-exact across thread counts for both fp32 and int8 —
+// including when the pool is busy and run() declines, sending the caller
+// down its serial loop.
+//
+// Concurrency: one run() owns the pool at a time (try-lock); concurrent
+// GEMMs from other runtime workers simply run serially rather than queueing.
+// Slab claims and completion accounting go through one mutex — slabs are
+// hundreds of microseconds of kernel work, so the lock is not a bottleneck,
+// and the lock/unlock pairs give TSan-visible happens-before edges between
+// job setup, slab execution, and completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace itask::gemm {
+
+/// Shapes below this many rows never use the pool: they have at most one or
+/// two MC slabs, where handoff latency exceeds the kernel win. The d40
+/// serving shapes cross it around batch 26 (m = batch · (tokens+1)).
+inline constexpr int64_t kKernelPoolMinRows = 256;
+
+class KernelPool {
+ public:
+  /// The process-wide pool (one per process, like the kernels it serves).
+  static KernelPool& instance();
+
+  /// (Re)sizes the pool to `threads` total lanes *including* the calling
+  /// thread, so `threads - 1` workers are spawned; <= 1 disables and joins
+  /// any existing workers. Blocks until no run() is in flight. Thread-safe.
+  void configure(int64_t threads);
+
+  /// Total lanes (0 or 1 = disabled).
+  int64_t threads() const { return lanes_.load(std::memory_order_relaxed); }
+
+  /// Runs fn(i) for every i in [0, tasks), the calling thread participating
+  /// as one lane. Returns false — without invoking fn at all — when the pool
+  /// is disabled, tasks < 2, or another run() currently owns the pool; the
+  /// caller must then run its serial loop (same results by the determinism
+  /// contract). Returns true once every index has completed.
+  bool run(int64_t tasks, const std::function<void(int64_t)>& fn);
+
+  KernelPool(const KernelPool&) = delete;
+  KernelPool& operator=(const KernelPool&) = delete;
+
+ private:
+  KernelPool() = default;
+  ~KernelPool();
+
+  void stop_workers_locked();  // requires user_mu_
+  void worker_loop();
+  /// Claims and runs slab indices of generation `gen` until none remain (or
+  /// the generation moved on, for a late-waking worker).
+  void drain(uint64_t gen);
+
+  std::mutex user_mu_;  // serializes run() owners and configure()
+  std::mutex mu_;       // guards all job state below
+  std::condition_variable job_cv_;   // workers: new job or stop
+  std::condition_variable done_cv_;  // run() owner: all indices completed
+  std::vector<std::thread> workers_;
+  std::atomic<int64_t> lanes_{0};
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  int64_t tasks_ = 0;
+  int64_t next_ = 0;
+  int64_t completed_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits `slabs` loop iterations across the pool when it is enabled and
+/// free, otherwise runs them serially on the caller — the single call the
+/// kernel drivers make around their MC-slab loops.
+template <typename Fn>
+void parallel_slabs(int64_t slabs, Fn&& fn) {
+  if (slabs > 1 && KernelPool::instance().threads() > 1) {
+    const std::function<void(int64_t)> task = std::forward<Fn>(fn);
+    if (KernelPool::instance().run(slabs, task)) return;
+    for (int64_t s = 0; s < slabs; ++s) task(s);
+    return;
+  }
+  for (int64_t s = 0; s < slabs; ++s) fn(s);
+}
+
+}  // namespace itask::gemm

@@ -37,6 +37,20 @@ enum class Section : int {
 
 const char* section_name(Section s);
 
+/// Event counters beside the section timers: the prepacked GEMM entry points
+/// tick these so the attribution tables show the pack work *avoided* by
+/// publish-time weight pre-packing instead of pack time silently vanishing.
+/// Same cost model as the timers: one relaxed load when disabled.
+enum class Counter : int {
+  kGemmPrepackedCalls = 0,  // fp32 gemm_bt_prepacked invocations
+  kGemmPackBytesAvoided,    // fp32 B-panel bytes NOT packed thanks to prepack
+  kInt8PrepackedCalls,      // int8_gemm_bt_prepacked invocations
+  kInt8PackBytesAvoided,    // int16 W-panel bytes NOT packed thanks to prepack
+  kCounterCount
+};
+
+const char* counter_name(Counter c);
+
 namespace detail {
 
 extern std::atomic<bool> g_enabled;
@@ -47,6 +61,7 @@ struct SectionCell {
 };
 
 extern SectionCell g_cells[static_cast<int>(Section::kCount)];
+extern std::atomic<int64_t> g_counters[static_cast<int>(Counter::kCounterCount)];
 
 }  // namespace detail
 
@@ -71,6 +86,25 @@ struct SectionStats {
 /// hooks are disabled or no instrumented kernel ran — the "hooks off ⇒ no
 /// histogram created" contract tests assert exactly this.
 std::vector<SectionStats> snapshot();
+
+struct CounterStats {
+  Counter counter{};
+  const char* name = "";
+  int64_t value = 0;
+};
+
+/// Counters with a non-zero value, in enum order. Like snapshot(), empty when
+/// the hooks are disabled or no prepacked kernel ran.
+std::vector<CounterStats> counter_snapshot();
+
+/// Adds `delta` to a counter when profiling is enabled (relaxed atomic; safe
+/// from concurrent inference workers). Prefer ITASK_PROFILE_COUNT, which
+/// compiles out under -DITASK_NO_PROFILING.
+inline void add_count(Counter c, int64_t delta) {
+  if (enabled())
+    detail::g_counters[static_cast<int>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+}
 
 /// RAII section timer. Reads the enable flag once at construction; a timer
 /// alive across set_enabled() keeps its construction-time decision.
@@ -106,7 +140,10 @@ class ScopedTimer {
 
 #ifdef ITASK_NO_PROFILING
 #define ITASK_PROFILE_SCOPE(section)
+#define ITASK_PROFILE_COUNT(counter, delta)
 #else
+#define ITASK_PROFILE_COUNT(counter, delta) \
+  ::itask::profile::add_count((counter), (delta))
 #define ITASK_PROFILE_CONCAT_IMPL(a, b) a##b
 #define ITASK_PROFILE_CONCAT(a, b) ITASK_PROFILE_CONCAT_IMPL(a, b)
 #define ITASK_PROFILE_SCOPE(section)                 \

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "nn/linear.h"
 #include "quant/int8_gemm.h"
 #include "tensor/gemm.h"
+#include "tensor/kernel_pool.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 
@@ -111,6 +114,192 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "n" +
              std::to_string(std::get<2>(info.param));
     });
+
+// ---- publish-time weight pre-packing --------------------------------------
+
+class GemmPrepackParity
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+// The prepacked entry builds the same panels in the same order as the
+// per-call pack, so fp32 results are bit-identical to gemm_bt (and therefore
+// within the K0 reassociation tolerance of the naive reference).
+TEST_P(GemmPrepackParity, Fp32BitExactVsPackPerCallAndCloseToReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 131 + k * 17 + n) + 3);
+  const Tensor a = rng.randn({m, k});
+  const Tensor b_nk = rng.randn({n, k});
+  Tensor per_call({m, n}), prepacked({m, n}), naive({m, n});
+  gemm::gemm_bt(a.data().data(), b_nk.data().data(), per_call.data().data(),
+                m, k, n);
+  const gemm::PackedB packed = gemm::pack_weights_bt(b_nk.data().data(), k, n);
+  EXPECT_EQ(packed.k, k);
+  EXPECT_EQ(packed.n, n);
+  gemm::gemm_bt_prepacked(a.data().data(), packed, prepacked.data().data(), m);
+  EXPECT_TRUE(prepacked.allclose(per_call, 0.0f)) << "prepacked vs per-call";
+  gemm::reference::gemm_bt(a.data().data(), b_nk.data().data(),
+                           naive.data().data(), m, k, n);
+  expect_close(prepacked.data(), naive.data(), "prepacked vs naive");
+}
+
+TEST_P(GemmPrepackParity, Int8BitExactVsPackedAndNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 13 + k * 29 + n) + 11);
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> w(static_cast<size_t>(n * k));
+  for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+  for (auto& v : w) v = static_cast<int8_t>(rng.randint(-128, 127));
+  const int32_t zp = static_cast<int32_t>(rng.randint(-50, 50));
+  const std::vector<int32_t> sums = quant::weight_row_sums(w, n, k);
+  std::vector<int32_t> naive(static_cast<size_t>(m * n));
+  std::vector<int32_t> packed(static_cast<size_t>(m * n), -1);
+  std::vector<int32_t> prepacked(static_cast<size_t>(m * n), -2);
+  quant::int8_gemm_bt(a, zp, w, naive, m, k, n);
+  quant::int8_gemm_bt_packed(a, zp, w, sums, packed, m, k, n);
+  const quant::PackedWeightInt8 pw = quant::pack_weights_int8(w, n, k);
+  quant::int8_gemm_bt_prepacked(a, zp, pw, sums, prepacked, m);
+  EXPECT_EQ(prepacked, packed);
+  EXPECT_EQ(prepacked, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, GemmPrepackParity, ::testing::ValuesIn(kShapes),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GemmPrepack, LinearInferUnchangedByPrepack) {
+  Rng rng(1234);
+  nn::Linear layer(24, 40, rng);
+  const Tensor x = rng.randn({5, 3, 24});
+  const Tensor before = layer.infer(x);
+  EXPECT_FALSE(layer.prepacked());
+  layer.prepack_for_serving();
+  ASSERT_TRUE(layer.prepacked());
+  layer.prepack_for_serving();  // idempotent
+  const Tensor after = layer.infer(x);
+  // infer() must stay arithmetically identical to forward() — the prepacked
+  // kernel is bit-identical, not merely close.
+  EXPECT_TRUE(after.allclose(before, 0.0f));
+  layer.set_training(false);
+  EXPECT_TRUE(layer.forward(x).allclose(before, 0.0f));
+}
+
+TEST(GemmPrepack, QlinearForwardUnchangedByPrepack) {
+  Rng rng(77);
+  const Tensor w = rng.randn({40, 24});
+  quant::QuantizedWeight qw =
+      quant::quantize_weight(w, quant::WeightGranularity::kPerChannel);
+  const Tensor x = rng.randn({9, 24});
+  const quant::QuantParams act = quant::QuantParams::asymmetric(-3.0f, 3.0f);
+  const Tensor before = quant::qlinear_forward(x, act, qw, nullptr);
+  qw.prepack();
+  ASSERT_NE(qw.packed, nullptr);
+  const auto* first = qw.packed.get();
+  qw.prepack();  // idempotent — the cache object is not rebuilt
+  EXPECT_EQ(qw.packed.get(), first);
+  const Tensor after = quant::qlinear_forward(x, act, qw, nullptr);
+  EXPECT_TRUE(after.allclose(before, 0.0f));  // int8 path is bit-exact
+}
+
+// Satellite: the per-thread pack workspaces must stay bounded by one slab
+// per operand (exact reservation, no geometric overshoot) however large the
+// GEMM — and the bound is the documented cap.
+TEST(GemmPrepack, PackWorkspaceStaysBoundedBySlabCap) {
+  Rng rng(5);
+  const int64_t m = 300, k = 600, n = 300;  // crosses every blocking extent
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({n, k});
+  Tensor c({m, n});
+  gemm::gemm_bt(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  EXPECT_LE(gemm::pack_workspace_bytes(), gemm::pack_workspace_cap_bytes());
+}
+
+// ---- kernel thread pool ---------------------------------------------------
+
+// Restores the single-core default even when a test fails mid-way.
+struct PoolGuard {
+  ~PoolGuard() { gemm::KernelPool::instance().configure(0); }
+};
+
+TEST(GemmKernelPool, Fp32DeterministicAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  Rng rng(2024);
+  const int64_t m = 700, k = 96, n = 160;  // several MC slabs, clears the
+                                           // kKernelPoolMinRows threshold
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({n, k});
+  const gemm::PackedB packed = gemm::pack_weights_bt(b.data().data(), k, n);
+  Tensor serial({m, n});
+  gemm::gemm_bt_prepacked(a.data().data(), packed, serial.data().data(), m);
+  for (int64_t threads : {2, 3, 4}) {
+    gemm::KernelPool::instance().configure(threads);
+    EXPECT_EQ(gemm::KernelPool::instance().threads(), threads);
+    for (int run = 0; run < 3; ++run) {
+      Tensor pooled({m, n});
+      gemm::gemm_bt_prepacked(a.data().data(), packed, pooled.data().data(),
+                              m);
+      EXPECT_TRUE(pooled.allclose(serial, 0.0f))
+          << "threads=" << threads << " run=" << run;
+    }
+  }
+  gemm::KernelPool::instance().configure(0);
+  EXPECT_EQ(gemm::KernelPool::instance().threads(), 0);
+}
+
+TEST(GemmKernelPool, Int8DeterministicAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  Rng rng(4048);
+  const int64_t m = 640, k = 64, n = 144;
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> w(static_cast<size_t>(n * k));
+  for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+  for (auto& v : w) v = static_cast<int8_t>(rng.randint(-128, 127));
+  const std::vector<int32_t> sums = quant::weight_row_sums(w, n, k);
+  const quant::PackedWeightInt8 pw = quant::pack_weights_int8(w, n, k);
+  std::vector<int32_t> serial(static_cast<size_t>(m * n));
+  quant::int8_gemm_bt_prepacked(a, 7, pw, sums, serial, m);
+  for (int64_t threads : {2, 4}) {
+    gemm::KernelPool::instance().configure(threads);
+    for (int run = 0; run < 3; ++run) {
+      std::vector<int32_t> pooled(static_cast<size_t>(m * n), -1);
+      quant::int8_gemm_bt_prepacked(a, 7, pw, sums, pooled, m);
+      EXPECT_EQ(pooled, serial) << "threads=" << threads << " run=" << run;
+    }
+  }
+}
+
+// Two threads issuing pooled GEMMs concurrently: one owns the pool, the
+// other falls back to its serial loop — results identical either way. This
+// is the TSan target for pool handoff + busy fallback.
+TEST(GemmKernelPool, ConcurrentCallersBitExactViaBusyFallback) {
+  PoolGuard guard;
+  Rng rng(99);
+  const int64_t m = 512, k = 80, n = 128;
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({n, k});
+  const gemm::PackedB packed = gemm::pack_weights_bt(b.data().data(), k, n);
+  Tensor serial({m, n});
+  gemm::gemm_bt_prepacked(a.data().data(), packed, serial.data().data(), m);
+  gemm::KernelPool::instance().configure(3);
+  constexpr int kIters = 8;
+  std::vector<int> mismatches(2, 0);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 2; ++t) {
+    callers.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        Tensor c({m, n});
+        gemm::gemm_bt_prepacked(a.data().data(), packed, c.data().data(), m);
+        if (!c.allclose(serial, 0.0f)) ++mismatches[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(mismatches[0], 0);
+  EXPECT_EQ(mismatches[1], 0);
+}
 
 TEST(GemmKernel, EmptyBatchAndZeroDims) {
   // Empty batch: [0, m, k] × [0, k, n] → [0, m, n], no work, no crash.

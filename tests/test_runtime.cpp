@@ -27,6 +27,7 @@
 #include "runtime/server.h"
 #include "runtime/trace.h"
 #include "tensor/gemm.h"
+#include "tensor/kernel_pool.h"
 #include "tensor/profile.h"
 
 namespace itask::runtime {
@@ -541,6 +542,88 @@ TEST_F(RuntimeServing, SnapshotInferBatchMatchesDetectBatchExactly) {
     ASSERT_EQ(serial.size(), snapshot.size());
     for (size_t i = 0; i < serial.size(); ++i) {
       expect_same_detections(snapshot[i], serial[i]);
+    }
+  }
+}
+
+TEST_F(RuntimeServing, PublishPrepacksServingKernelsWithoutChangingResults) {
+  // publish() pre-packed every model snap_ captured, so the snapshot path
+  // must actually hit the prepacked kernels (the profile counters tick) —
+  // while SnapshotInferBatchMatchesDetectBatchExactly above pins the other
+  // half of the contract: results stay element-wise identical to the
+  // never-prepacked serial forward() path.
+  Tensor images({eval_->size(), 3, 24, 24});
+  for (int64_t i = 0; i < eval_->size(); ++i) {
+    images.set_index(i, eval_->scene(i).image);
+  }
+  profile::reset();
+  profile::set_enabled(true);
+  const auto fp32 =
+      (*snap_)->infer_batch(images, task_->id, ConfigKind::kTaskSpecific);
+  const auto int8 = (*snap_)->infer_batch(images, task_->id,
+                                          ConfigKind::kQuantizedMultiTask);
+  profile::set_enabled(false);
+  int64_t fp32_calls = 0, int8_calls = 0;
+  int64_t fp32_bytes = 0, int8_bytes = 0;
+  for (const auto& c : profile::counter_snapshot()) {
+    switch (c.counter) {
+      case profile::Counter::kGemmPrepackedCalls: fp32_calls = c.value; break;
+      case profile::Counter::kGemmPackBytesAvoided: fp32_bytes = c.value; break;
+      case profile::Counter::kInt8PrepackedCalls: int8_calls = c.value; break;
+      case profile::Counter::kInt8PackBytesAvoided: int8_bytes = c.value; break;
+      default: break;
+    }
+  }
+  profile::reset();
+  EXPECT_GT(fp32_calls, 0) << "fp32 student served without prepacked weights";
+  EXPECT_GT(int8_calls, 0) << "quantized model served without prepacked weights";
+  EXPECT_GT(fp32_bytes, 0);
+  EXPECT_GT(int8_bytes, 0);
+  // And the equality half once more, on the counters' own run.
+  const auto serial_fp32 =
+      fw_->detect_batch(images, *task_, ConfigKind::kTaskSpecific);
+  const auto serial_int8 =
+      fw_->detect_batch(images, *task_, ConfigKind::kQuantizedMultiTask);
+  ASSERT_EQ(fp32.size(), serial_fp32.size());
+  ASSERT_EQ(int8.size(), serial_int8.size());
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    expect_same_detections(fp32[i], serial_fp32[i]);
+    expect_same_detections(int8[i], serial_int8[i]);
+  }
+}
+
+TEST_F(RuntimeServing, KernelPoolServingBitExactVsSerial) {
+  // Opt-in multi-core kernels (RuntimeOptions::kernel_threads): big micro-
+  // batches split MC slabs across the pool, and every request must still be
+  // element-wise identical to the single-core serial path — the pool's
+  // determinism contract. This test is part of the TSan suite.
+  struct PoolGuard {
+    ~PoolGuard() { gemm::KernelPool::instance().configure(0); }
+  } guard;
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    std::vector<std::future<InferenceResult>> futures;
+    {
+      RuntimeOptions opts;
+      opts.workers = 2;
+      opts.max_batch = 32;  // 32·(T+1) rows ≥ gemm::kKernelPoolMinRows
+      opts.max_wait_us = 2000;
+      opts.queue_capacity = 128;
+      opts.kernel_threads = 3;
+      InferenceServer server(*snap_, opts);
+      EXPECT_EQ(gemm::KernelPool::instance().threads(), 3);
+      for (int64_t i = 0; i < 2 * eval_->size(); ++i) {
+        auto f = server.try_submit(eval_->scene(i % eval_->size()).image,
+                                   *task_, config);
+        ASSERT_TRUE(f.admitted());
+        futures.push_back(std::move(*f.future));
+      }
+    }
+    for (int64_t i = 0; i < 2 * eval_->size(); ++i) {
+      InferenceResult r = futures[static_cast<size_t>(i)].get();
+      const auto serial = fw_->detect(
+          eval_->scene(i % eval_->size()).image, *task_, config);
+      expect_same_detections(r.detections, serial);
     }
   }
 }
