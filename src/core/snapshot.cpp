@@ -1,8 +1,10 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "tensor/arena.h"
 #include "tensor/format.h"
 
 namespace itask::core {
@@ -71,9 +73,14 @@ bool DeploymentSnapshot::servable(kg::TaskId id, ConfigKind config) const {
 
 std::vector<std::vector<detect::Detection>> DeploymentSnapshot::infer_batch(
     const Tensor& images, kg::TaskId id, ConfigKind config) const {
+  return decode_batch(infer_raw(images, id, config), id, config);
+}
+
+vit::VitOutput DeploymentSnapshot::infer_raw(const Tensor& images,
+                                             kg::TaskId id,
+                                             ConfigKind config) const {
   ITASK_CHECK(images.ndim() == 4, "DeploymentSnapshot: need [B, C, H, W]");
-  const kg::TaskTable::Entry* entry = tasks_.find(id);
-  ITASK_CHECK(entry != nullptr,
+  ITASK_CHECK(tasks_.find(id) != nullptr,
               "DeploymentSnapshot: " + kg::task_id_to_string(id) +
                   " is not in snapshot v" + fmt::i64(version_) +
                   " (publish a snapshot containing it first)");
@@ -83,17 +90,51 @@ std::vector<std::vector<detect::Detection>> DeploymentSnapshot::infer_batch(
                 "DeploymentSnapshot: no task-specific student for " +
                     kg::task_id_to_string(id) + " in snapshot v" +
                     fmt::i64(version_));
-    const vit::VitOutput out = it->second->infer(images);
-    return decode_and_match(out, entry->compiled, /*use_rel_head=*/true,
-                            pipeline_);
+    return it->second->infer(images);
   }
   ITASK_CHECK(quantized_ != nullptr,
               "DeploymentSnapshot: snapshot v" + fmt::i64(version_) +
                   " has no quantized model (prepare_quantized before "
                   "publish)");
-  const vit::VitOutput out = quantized_->forward(images);
-  return decode_and_match(out, entry->compiled, /*use_rel_head=*/false,
+  return quantized_->forward(images);
+}
+
+std::vector<std::vector<detect::Detection>> DeploymentSnapshot::decode_batch(
+    const vit::VitOutput& output, kg::TaskId id, ConfigKind config) const {
+  const kg::TaskTable::Entry* entry = tasks_.find(id);
+  ITASK_CHECK(entry != nullptr,
+              "DeploymentSnapshot: " + kg::task_id_to_string(id) +
+                  " is not in snapshot v" + fmt::i64(version_));
+  return decode_and_match(output, entry->compiled,
+                          /*use_rel_head=*/config == ConfigKind::kTaskSpecific,
                           pipeline_);
+}
+
+int64_t DeploymentSnapshot::plan_workspace(int64_t max_batch) const {
+  ITASK_CHECK(max_batch >= 1, "plan_workspace: max_batch must be >= 1");
+  Shape batched = expected_input_shape_;
+  batched.insert(batched.begin(), max_batch);
+  int64_t bytes = 0;
+  const auto probe_one = [&](const auto& run_model) {
+    // Zero-capacity probe arena: every allocation overflows (individually
+    // heap'd, freed on destruction) while used() accumulates the exact
+    // rounded footprint the real arena must cover.
+    Arena probe(0);
+    const ArenaScope scope(probe);
+    const Tensor images(batched);  // the worker's stacked batch counts too
+    const vit::VitOutput out = run_model(images);
+    (void)out;
+    bytes = std::max(bytes, probe.used());
+  };
+  for (const auto& [id, student] : students_) {
+    (void)id;
+    probe_one([&](const Tensor& images) { return student->infer(images); });
+  }
+  if (quantized_ != nullptr) {
+    probe_one(
+        [&](const Tensor& images) { return quantized_->forward(images); });
+  }
+  return bytes;
 }
 
 }  // namespace itask::core

@@ -83,8 +83,34 @@ class DeploymentSnapshot {
   /// to Framework::detect_batch over the same weights: const, cache-free,
   /// any number of workers may call it concurrently on one snapshot.
   /// Throws std::invalid_argument when (id, config) is not servable.
+  /// Equivalent to decode_batch(infer_raw(...)).
   std::vector<std::vector<detect::Detection>> infer_batch(
       const Tensor& images, kg::TaskId id, ConfigKind config) const;
+
+  /// The model half of infer_batch: runs the (id, config) model and returns
+  /// its raw outputs, no decoding. This is the region a runtime worker wraps
+  /// in an ArenaScope — every intermediate (and the returned VitOutput's
+  /// tensors) then lives in the worker's arena. Same validation and
+  /// arithmetic as infer_batch.
+  vit::VitOutput infer_raw(const Tensor& images, kg::TaskId id,
+                           ConfigKind config) const;
+
+  /// The decode half: decode → task relevance → NMS over infer_raw's output.
+  /// Runs OUTSIDE the arena scope, because the returned Detections carry
+  /// tensors that escape into results — they must be heap-backed. Only reads
+  /// `output`, so arena-resident outputs are fine as long as the arena has
+  /// not been reset yet.
+  std::vector<std::vector<detect::Detection>> decode_batch(
+      const vit::VitOutput& output, kg::TaskId id, ConfigKind config) const;
+
+  /// Peak arena bytes one serving worker needs for any micro-batch of up to
+  /// `max_batch` images on any (task, config) this snapshot serves — the
+  /// capacity InferenceServer sizes per-worker arenas with at install time.
+  /// Measured, not estimated: probes each deployable model once on a
+  /// zero-filled [max_batch, C, H, W] batch (stacked batch included) under a
+  /// zero-capacity arena, whose used() is exactly the required capacity by
+  /// the bump-accounting rule (tensor/arena.h).
+  int64_t plan_workspace(int64_t max_batch) const;
 
  private:
   int64_t version_ = 0;

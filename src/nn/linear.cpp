@@ -40,10 +40,11 @@ Tensor Linear::infer(const Tensor& input) const {
   if (packed_ != nullptr) {
     // Published model: the weight panels were packed once at publish time.
     // gemm_bt_prepacked is bit-identical to gemm_bt, so this path stays
-    // arithmetically identical to forward().
-    const Tensor x2d = input.reshape({rows, in_features_});
+    // arithmetically identical to forward(). Storage is row-major
+    // contiguous, so the input's flat data already IS the [rows, in]
+    // matrix — no reshape copy.
     y = Tensor({rows, out_features_});
-    gemm::gemm_bt_prepacked(x2d.data().data(), *packed_, y.data().data(),
+    gemm::gemm_bt_prepacked(input.data().data(), *packed_, y.data().data(),
                             rows);
   } else {
     y = ops::matmul_bt(input.reshape({rows, in_features_}),

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/arena.h"
+#include "tensor/gemm.h"
 #include "tensor/kernel_pool.h"
 #include "tensor/profile.h"
 
@@ -53,9 +55,22 @@ constexpr int64_t kNC = 128;
 
 // Bounded like the fp32 workspaces (tensor/gemm.cpp): exact reservation, no
 // geometric overshoot, capacity ≤ one KC slab of panels per operand, storage
-// released on thread exit by the thread_local destructors.
+// released on thread exit by the thread_local destructors or eagerly by
+// gemm::pack_workspace_release() via the releaser registered below.
 thread_local std::vector<int16_t> tl_apack;
 thread_local std::vector<int16_t> tl_wpack;
+
+void release_pack_workspaces_i16() {
+  std::vector<int16_t>().swap(tl_apack);
+  std::vector<int16_t>().swap(tl_wpack);
+}
+
+// Runs during static init of any binary linking this TU (both statics in the
+// registry are constant-initialized, so cross-TU init order is safe).
+[[maybe_unused]] const bool pack_releaser_registered = [] {
+  gemm::register_pack_workspace_releaser(&release_pack_workspaces_i16);
+  return true;
+}();
 
 int16_t* pack_workspace_i16(std::vector<int16_t>& ws, int64_t elems) {
   const auto n = static_cast<size_t>(elems);
@@ -238,7 +253,7 @@ void int8_gemm_bt_packed(std::span<const int8_t> a, int32_t a_zero_point,
     return;
   }
   // zp·Σw correction per output column, applied while writing the first slab.
-  std::vector<int32_t> corr(static_cast<size_t>(n));
+  ScratchVec<int32_t> corr(n, /*zero_fill=*/false);
   for (int64_t j = 0; j < n; ++j) corr[j] = a_zero_point * w_row_sums[j];
   for (int64_t pc = 0; pc < k; pc += kKC) {
     const int64_t kc = std::min(kKC, k - pc);
@@ -311,7 +326,7 @@ void int8_gemm_bt_prepacked(std::span<const int8_t> a, int32_t a_zero_point,
   }
   ITASK_PROFILE_COUNT(profile::Counter::kInt8PrepackedCalls, 1);
   ITASK_PROFILE_COUNT(profile::Counter::kInt8PackBytesAvoided, w.bytes());
-  std::vector<int32_t> corr(static_cast<size_t>(n));
+  ScratchVec<int32_t> corr(n, /*zero_fill=*/false);
   for (int64_t j = 0; j < n; ++j) corr[j] = a_zero_point * w_row_sums[j];
   const int16_t* block = w.data.data();
   for (int64_t pc = 0; pc < k; pc += kKC) {
@@ -343,12 +358,14 @@ Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
   ITASK_CHECK(x.dim(x.ndim() - 1) == in, "qlinear_forward: trailing dim");
   const int64_t rows = x.numel() / in;
   const int64_t out = weight.out;
-  std::vector<int8_t> qx;
+  // Scratch comes from the worker's arena under an ArenaScope (the serving
+  // hot path) and from the heap otherwise — same values either way.
+  ScratchVec<int8_t> qx(rows * in, /*zero_fill=*/false);
   {
     ITASK_PROFILE_SCOPE(profile::Section::kInt8Quantize);
-    qx = quantize_tensor(x, act);
+    quantize_tensor_into(x, act, std::span<int8_t>(qx.data(), qx.size()));
   }
-  std::vector<int32_t> acc(static_cast<size_t>(rows * out));
+  ScratchVec<int32_t> acc(rows * out);
   std::vector<int32_t> fallback_sums;  // hand-built weight, no finalize table
   std::span<const int32_t> sums;
   if (static_cast<int64_t>(weight.row_sums.size()) == out) {
@@ -357,22 +374,26 @@ Tensor qlinear_forward(const Tensor& x, const QuantParams& act,
     fallback_sums = weight_row_sums(weight.data, out, in);
     sums = fallback_sums;
   }
+  const std::span<const int8_t> qx_span(qx.data(),
+                                        static_cast<size_t>(qx.size()));
+  const std::span<int32_t> acc_span(acc.data(),
+                                    static_cast<size_t>(acc.size()));
   if (weight.packed != nullptr) {
     // Publish-time pre-packed weight (QuantizedWeight::prepack): skip the
     // per-call W pack. Bit-identical to the pack-per-call path.
     ITASK_CHECK(weight.packed->k == in && weight.packed->n == out,
                 "qlinear_forward: packed cache shape mismatch");
-    int8_gemm_bt_prepacked(qx, act.zero_point, *weight.packed, sums, acc,
-                           rows);
+    int8_gemm_bt_prepacked(qx_span, act.zero_point, *weight.packed, sums,
+                           acc_span, rows);
   } else {
-    int8_gemm_bt_packed(qx, act.zero_point, weight.data, sums, acc, rows, in,
-                        out);
+    int8_gemm_bt_packed(qx_span, act.zero_point, weight.data, sums, acc_span,
+                        rows, in, out);
   }
   // Dequant scale per output column (activation scale × per-row weight
   // scale), hoisted out of the element loop.
-  std::vector<float> col_scale(static_cast<size_t>(out));
+  ScratchVec<float> col_scale(out, /*zero_fill=*/false);
   for (int64_t j = 0; j < out; ++j)
-    col_scale[static_cast<size_t>(j)] = act.scale * weight.scale_for_row(j);
+    col_scale[j] = act.scale * weight.scale_for_row(j);
   Shape out_shape = x.shape();
   out_shape.back() = out;
   Tensor y(std::move(out_shape));

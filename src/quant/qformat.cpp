@@ -55,9 +55,16 @@ int8_t QuantParams::quantize(float x) const {
 
 std::vector<int8_t> quantize_tensor(const Tensor& t, const QuantParams& p) {
   std::vector<int8_t> out(static_cast<size_t>(t.numel()));
+  quantize_tensor_into(t, p, out);
+  return out;
+}
+
+void quantize_tensor_into(const Tensor& t, const QuantParams& p,
+                          std::span<int8_t> out) {
+  ITASK_CHECK(static_cast<int64_t>(out.size()) == t.numel(),
+              "quantize_tensor_into: size mismatch");
   auto d = t.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = p.quantize(d[i]);
-  return out;
 }
 
 Tensor dequantize_tensor(const std::vector<int8_t>& q, const Shape& shape,

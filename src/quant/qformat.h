@@ -46,6 +46,12 @@ struct QuantParams {
 /// Quantizes a tensor with per-tensor params.
 std::vector<int8_t> quantize_tensor(const Tensor& t, const QuantParams& p);
 
+/// Same, writing into caller storage (`out.size()` must equal `t.numel()`).
+/// The serving hot path uses this with arena-backed scratch so the per-call
+/// activation quantize allocates nothing.
+void quantize_tensor_into(const Tensor& t, const QuantParams& p,
+                          std::span<int8_t> out);
+
 /// Dequantizes back to FP32 (round-trip testing / debugging).
 Tensor dequantize_tensor(const std::vector<int8_t>& q, const Shape& shape,
                          const QuantParams& p);

@@ -9,6 +9,11 @@
 // opened — the dynamic micro-batching rule (close at size OR deadline,
 // whichever first).
 //
+// Storage is a fixed ring buffer sized at construction (capacity slots, no
+// per-push node allocation), and pop_batch has an overload draining into a
+// caller-owned vector — together these keep the queue off the steady-state
+// heap: a worker reuses one batch vector across its whole life.
+//
 // close() starts a graceful shutdown: pushes fail from then on, but pops
 // continue to drain whatever was admitted; pop_batch returns empty only once
 // the queue is closed AND empty, which is the consumer's signal to exit.
@@ -16,7 +21,6 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -31,9 +35,8 @@ enum class PushResult { kOk, kFull, kClosed };
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
-    ITASK_CHECK(capacity >= 1, "BoundedQueue: capacity must be >= 1");
-  }
+  explicit BoundedQueue(int64_t capacity)
+      : capacity_(capacity), slots_(checked_capacity(capacity)) {}
 
   /// Admission control: enqueues unless the queue is full or closed, and
   /// says which of the two refused the item.
@@ -41,9 +44,10 @@ class BoundedQueue {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return PushResult::kClosed;
-      if (static_cast<int64_t>(items_.size()) >= capacity_)
-        return PushResult::kFull;
-      items_.push_back(std::move(item));
+      if (size_ >= capacity_) return PushResult::kFull;
+      slots_[static_cast<size_t>((head_ + size_) % capacity_)] =
+          std::move(item);
+      ++size_;
     }
     ready_.notify_one();
     return PushResult::kOk;
@@ -58,27 +62,36 @@ class BoundedQueue {
   /// only when the queue is closed and fully drained.
   std::vector<T> pop_batch(int64_t max_items,
                            std::chrono::microseconds max_wait) {
-    ITASK_CHECK(max_items >= 1, "BoundedQueue: max_items must be >= 1");
     std::vector<T> batch;
+    pop_batch(max_items, max_wait, batch);
+    return batch;
+  }
+
+  /// Same, draining into `batch` (cleared first). The runtime workers use
+  /// this with a long-lived per-worker vector, so steady-state pops reuse
+  /// its capacity instead of allocating a fresh vector per micro-batch.
+  void pop_batch(int64_t max_items, std::chrono::microseconds max_wait,
+                 std::vector<T>& batch) {
+    ITASK_CHECK(max_items >= 1, "BoundedQueue: max_items must be >= 1");
+    batch.clear();
     std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return batch;  // closed and drained
+    ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return;  // closed and drained
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     while (static_cast<int64_t>(batch.size()) < max_items) {
-      if (!items_.empty()) {
-        batch.push_back(std::move(items_.front()));
-        items_.pop_front();
+      if (size_ > 0) {
+        batch.push_back(std::move(slots_[static_cast<size_t>(head_)]));
+        head_ = (head_ + 1) % capacity_;
+        --size_;
         continue;
       }
       if (closed_) break;
-      if (ready_.wait_until(lock, deadline, [&] {
-            return !items_.empty() || closed_;
-          })) {
+      if (ready_.wait_until(lock, deadline,
+                            [&] { return size_ > 0 || closed_; })) {
         continue;  // new item (or closed); loop decides
       }
       break;  // deadline passed with the batch still open
     }
-    return batch;
   }
 
   /// Stops admission; consumers drain the remainder. Idempotent.
@@ -97,16 +110,26 @@ class BoundedQueue {
 
   int64_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return static_cast<int64_t>(items_.size());
+    return size_;
   }
 
   int64_t capacity() const { return capacity_; }
 
  private:
+  static size_t checked_capacity(int64_t capacity) {
+    ITASK_CHECK(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+    return static_cast<size_t>(capacity);
+  }
+
   const int64_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<T> items_;
+  /// Fixed ring of default-constructed slots; [head_, head_+size_) mod
+  /// capacity_ are live. A popped slot keeps its moved-from shell (and any
+  /// capacity T hangs onto) until a later push overwrites it.
+  std::vector<T> slots_;
+  int64_t head_ = 0;
+  int64_t size_ = 0;
   bool closed_ = false;
 };
 

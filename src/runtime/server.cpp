@@ -1,8 +1,10 @@
 #include "runtime/server.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "tensor/arena.h"
 #include "tensor/format.h"
 #include "tensor/kernel_pool.h"
 
@@ -46,6 +48,13 @@ InferenceServer::InferenceServer(
   // publish; its tasks were never *onboarded* live).
   metrics_.counter("snapshots_published").increment();
   metrics_.counter("tasks_onboarded");
+  // Size the per-worker arenas before any worker exists: the snapshot
+  // measures its own peak workspace (stacked batch + every inference
+  // intermediate) for the largest micro-batch this server forms.
+  if (options_.use_arena) {
+    workspace_bytes_.store(snapshot_->plan_workspace(options_.max_batch),
+                           std::memory_order_relaxed);
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int64_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -58,6 +67,17 @@ void InferenceServer::install_snapshot(
     std::shared_ptr<const core::DeploymentSnapshot> snapshot) {
   ITASK_CHECK(snapshot != nullptr,
               "install_snapshot: snapshot must not be null");
+  // Re-plan the per-worker workspace for the incoming snapshot before taking
+  // the lock (the probe runs real inference). The published bound only ever
+  // grows: in-flight batches may still serve the old snapshot, and workers
+  // grow their arenas lazily at the next micro-batch boundary.
+  if (options_.use_arena) {
+    const int64_t bytes = snapshot->plan_workspace(options_.max_batch);
+    int64_t cur = workspace_bytes_.load(std::memory_order_relaxed);
+    while (bytes > cur && !workspace_bytes_.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
   int64_t onboarded = 0;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -161,25 +181,46 @@ void InferenceServer::worker_loop(int64_t worker_index) {
   Counter& failed = metrics_.counter("requests_failed");
   Counter& expired = metrics_.counter("requests_expired");
   Counter& batches = metrics_.counter("batches");
+  Counter& hot_allocs = metrics_.counter("hot_path_allocs");
+  Counter& arena_overflow = metrics_.counter("arena_overflow_allocs");
   Histogram& queue_h = metrics_.histogram("queue_us");
   Histogram& infer_h = metrics_.histogram("infer_us");
   Histogram& total_h = metrics_.histogram("total_us");
   Histogram& batch_h = metrics_.histogram("batch_size");
+  Histogram& arena_used_h = metrics_.histogram("arena_used_bytes");
+
+  // This worker's whole steady state lives in storage hoisted out of the
+  // loop: the micro-batch vector and done/group scratch reuse their heap
+  // capacity forever, and the arena serves the per-group hot region.
+  Arena arena(options_.use_arena
+                  ? workspace_bytes_.load(std::memory_order_relaxed)
+                  : 0);
+  int64_t overflow_seen = 0;
+  std::vector<Pending> batch;
+  std::vector<char> done;
+  std::vector<size_t> group;
 
   while (true) {
-    std::vector<Pending> batch = queue_.pop_batch(
-        options_.max_batch, std::chrono::microseconds(options_.max_wait_us));
+    queue_.pop_batch(options_.max_batch,
+                     std::chrono::microseconds(options_.max_wait_us), batch);
     if (batch.empty()) return;  // closed and drained
     // One snapshot acquisition per micro-batch (RCU read-side critical
     // section): every group in this batch serves from the same immutable
     // version, however many installs happen while it runs.
     const std::shared_ptr<const core::DeploymentSnapshot> snapshot =
         current_snapshot();
+    // A newly installed snapshot may have published a larger workspace
+    // bound; the arena is empty between groups, so growing here (outside
+    // the measured hot region) is legal and rare.
+    if (options_.use_arena) {
+      const int64_t want = workspace_bytes_.load(std::memory_order_relaxed);
+      if (want > arena.capacity()) arena.grow(want);
+    }
     const int64_t picked_us = clock_();
     batches.increment();
     batch_h.record(static_cast<double>(batch.size()));
 
-    std::vector<char> done(batch.size(), 0);
+    done.assign(batch.size(), 0);
     // Deadline shedding at batch-formation time: a request that already
     // missed its deadline gets DeadlineExceeded instead of inference time,
     // so under overload latency degrades boundedly rather than the queue
@@ -211,7 +252,7 @@ void InferenceServer::worker_loop(int64_t worker_index) {
     // preserved within a group, so results stay deterministic.
     for (size_t i = 0; i < batch.size(); ++i) {
       if (done[i]) continue;
-      std::vector<size_t> group;
+      group.clear();
       for (size_t j = i; j < batch.size(); ++j) {
         if (!done[j] && batch[j].config == batch[i].config &&
             batch[j].task == batch[i].task) {
@@ -220,14 +261,15 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       }
 
       // Fault isolation: a throw anywhere in this group's inference (stack,
-      // fault_injector, infer_batch) fails exactly this group's futures; the
-      // worker keeps draining, other groups and later batches are untouched.
-      // Admission validated against an earlier snapshot and tables only
-      // grow, so infer_batch's own not-servable throw is unreachable in
+      // fault_injector, infer_raw, decode_batch) fails exactly this group's
+      // futures; the worker keeps draining, other groups and later batches
+      // are untouched. Admission validated against an earlier snapshot and
+      // tables only grow, so the not-servable throw is unreachable in
       // practice — but if it ever fires it lands here, on this group only.
       std::vector<std::vector<detect::Detection>> detections;
       int64_t infer_start_us = 0;
       int64_t infer_end_us = 0;
+      bool group_failed = false;
       try {
         if (options_.fault_injector) {
           FaultSite site;
@@ -239,15 +281,42 @@ void InferenceServer::worker_loop(int64_t worker_index) {
           site.snapshot_version = snapshot->version();
           options_.fault_injector(site);
         }
-        const Shape& img = batch[i].image.shape();
-        Tensor stacked(
-            {static_cast<int64_t>(group.size()), img[0], img[1], img[2]});
-        for (size_t g = 0; g < group.size(); ++g) {
-          stacked.set_index(static_cast<int64_t>(g), batch[group[g]].image);
+        // The arena-scoped hot region: stacking plus the full model forward.
+        // The raw outputs stay arena-resident; the scope must end before
+        // decode so the Detections escaping into results are heap-backed,
+        // and the arena resets only after decode finished reading them.
+        vit::VitOutput raw;
+        const int64_t allocs_before = allocdebug::thread_alloc_count();
+        {
+          std::optional<ArenaScope> scope;
+          if (options_.use_arena) scope.emplace(arena);
+          const Shape& img = batch[i].image.shape();
+          if (group.size() == 1) {
+            // Singleton group: serve a borrowed [1, C, H, W] view over the
+            // request's own tensor — no stacking copy at all. infer_raw only
+            // reads its input, honouring the borrow contract.
+            const Tensor view = Tensor::borrow(
+                {1, img[0], img[1], img[2]}, batch[group[0]].image.data());
+            infer_start_us = clock_();
+            raw = snapshot->infer_raw(view, batch[i].task, batch[i].config);
+          } else {
+            Tensor stacked(
+                {static_cast<int64_t>(group.size()), img[0], img[1], img[2]});
+            for (size_t g = 0; g < group.size(); ++g) {
+              stacked.set_index(static_cast<int64_t>(g),
+                                batch[group[g]].image);
+            }
+            infer_start_us = clock_();
+            raw = snapshot->infer_raw(stacked, batch[i].task, batch[i].config);
+          }
         }
-        infer_start_us = clock_();
-        detections =
-            snapshot->infer_batch(stacked, batch[i].task, batch[i].config);
+        // Nonzero only in binaries that interpose operator new onto
+        // allocdebug — the zero-steady-state-allocation contract's meter.
+        const int64_t allocs_delta =
+            allocdebug::thread_alloc_count() - allocs_before;
+        if (allocs_delta > 0) hot_allocs.increment(allocs_delta);
+        detections = snapshot->decode_batch(raw, batch[i].task,
+                                            batch[i].config);
         infer_end_us = clock_();
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
@@ -264,8 +333,21 @@ void InferenceServer::worker_loop(int64_t worker_index) {
           stages_.failed(t);
           done[member] = 1;
         }
-        continue;
+        group_failed = true;
       }
+      // Per-group arena epilogue, on success and failure alike: record the
+      // footprint, surface any undersized-arena overflows, and reset —
+      // `raw` is gone, so nothing references arena memory past this point.
+      if (options_.use_arena) {
+        arena_used_h.record(static_cast<double>(arena.used()));
+        const int64_t overflows = arena.overflow_allocs();
+        if (overflows > overflow_seen) {
+          arena_overflow.increment(overflows - overflow_seen);
+          overflow_seen = overflows;
+        }
+        arena.reset();
+      }
+      if (group_failed) continue;
 
       for (size_t g = 0; g < group.size(); ++g) {
         Pending& p = batch[group[g]];

@@ -18,9 +18,20 @@
 //
 // Workers group each micro-batch by (configuration, task id), stack the
 // images, and run the snapshot's thread-safe const inference entry point
-// (`DeploymentSnapshot::infer_batch`), so both deployable configurations —
-// the FP32 task-specific student and the INT8 multi-task student — serve
-// real requests concurrently from one published deployment.
+// (`DeploymentSnapshot::infer_raw` + `decode_batch`), so both deployable
+// configurations — the FP32 task-specific student and the INT8 multi-task
+// student — serve real requests concurrently from one published deployment.
+//
+// Steady-state serving is allocation-free (RuntimeOptions::use_arena): each
+// worker owns a bump arena (tensor/arena.h) sized from the snapshot's own
+// measurement (DeploymentSnapshot::plan_workspace) and binds it around the
+// hot region — a singleton group serves through a borrowed view of the
+// request's tensor, larger groups stack into an arena-backed tensor, and
+// every inference intermediate lands in the arena. The scope ends before
+// decode (Detections escape into results, so they must stay heap-backed)
+// and the arena resets once per (config, task) group. test_runtime asserts
+// both halves of the contract: zero heap allocations in the scoped region
+// after warmup, and detections element-wise identical to the heap path.
 //
 // Determinism contract: inference is cache-free and batch-composition-
 // invariant, so every request's detections are element-wise identical to a
@@ -110,6 +121,15 @@ struct RuntimeOptions {
   /// KernelPool::configure (the pool is shared process-wide and outlives the
   /// server). Results are bit-exact at any setting.
   int64_t kernel_threads = 0;
+  /// Per-worker bump arenas for the inference hot path (tensor/arena.h):
+  /// each worker owns an arena sized from DeploymentSnapshot::
+  /// plan_workspace(max_batch) and binds it around batch stacking + model
+  /// inference, so steady-state serving performs zero heap allocations in
+  /// that region (test_runtime proves it with an instrumented allocator).
+  /// Results are element-wise identical to the heap path — the arena only
+  /// changes where intermediates live, never the arithmetic. Off = every
+  /// intermediate heap-allocates as before (the bench_f6_runtime A/B).
+  bool use_arena = true;
 };
 
 /// Everything a client learns about one completed request. The stage spans
@@ -225,6 +245,11 @@ class InferenceServer {
   // the lock is uncontended and trivially TSan-clean.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const core::DeploymentSnapshot> snapshot_;
+  // Peak per-worker arena bytes any installed snapshot needs (plan_workspace
+  // at construction and each install; monotone — never shrinks while old
+  // batches may still be in flight). Workers re-read it each micro-batch and
+  // grow their arena outside the measured region.
+  std::atomic<int64_t> workspace_bytes_{0};
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 };

@@ -1,0 +1,89 @@
+#include "tensor/arena.h"
+
+#include <new>
+
+namespace itask {
+
+namespace allocdebug {
+
+namespace {
+thread_local int64_t t_alloc_count = 0;
+}  // namespace
+
+void note_alloc() noexcept { ++t_alloc_count; }
+
+int64_t thread_alloc_count() noexcept { return t_alloc_count; }
+
+}  // namespace allocdebug
+
+namespace {
+
+constexpr std::align_val_t kArenaAlign{
+    static_cast<size_t>(Arena::kAlign)};
+
+int64_t round_up(int64_t bytes) {
+  return (bytes + Arena::kAlign - 1) & ~(Arena::kAlign - 1);
+}
+
+}  // namespace
+
+Arena::Arena(int64_t capacity_bytes) {
+  ITASK_CHECK(capacity_bytes >= 0, "Arena: capacity must be >= 0");
+  capacity_ = round_up(capacity_bytes);
+  if (capacity_ > 0) {
+    base_ = static_cast<char*>(
+        ::operator new(static_cast<size_t>(capacity_), kArenaAlign));
+  }
+}
+
+Arena::~Arena() {
+  reset();
+  if (base_ != nullptr) ::operator delete(base_, kArenaAlign);
+}
+
+void* Arena::allocate(int64_t bytes) {
+  if (bytes <= 0) return nullptr;
+  const int64_t rounded = round_up(bytes);
+  used_ += rounded;
+  if (used_ > high_water_) high_water_ = used_;
+  if (offset_ + rounded <= capacity_) {
+    void* p = base_ + offset_;
+    offset_ += rounded;
+    return p;
+  }
+  ++overflow_allocs_;
+  void* p = ::operator new(static_cast<size_t>(rounded), kArenaAlign);
+  overflow_.push_back(p);
+  return p;
+}
+
+void Arena::reset() {
+  for (void* p : overflow_) ::operator delete(p, kArenaAlign);
+  overflow_.clear();
+  offset_ = 0;
+  used_ = 0;
+}
+
+void Arena::grow(int64_t capacity_bytes) {
+  ITASK_CHECK(used_ == 0, "Arena: grow() requires an empty (reset) arena");
+  const int64_t rounded = round_up(capacity_bytes);
+  if (rounded <= capacity_) return;
+  if (base_ != nullptr) ::operator delete(base_, kArenaAlign);
+  base_ = static_cast<char*>(
+      ::operator new(static_cast<size_t>(rounded), kArenaAlign));
+  capacity_ = rounded;
+}
+
+namespace {
+thread_local Arena* t_current_arena = nullptr;
+}  // namespace
+
+ArenaScope::ArenaScope(Arena& arena) : prev_(t_current_arena) {
+  t_current_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { t_current_arena = prev_; }
+
+Arena* ArenaScope::current() noexcept { return t_current_arena; }
+
+}  // namespace itask

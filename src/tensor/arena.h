@@ -1,0 +1,153 @@
+// Bump arena allocator + thread-local binding — the tensor allocator seam.
+//
+// Serving wants allocation-free steady state (DESIGN.md §2, ROADMAP item 3):
+// a runtime worker owns one Arena sized at install time from
+// core::DeploymentSnapshot::plan_workspace(), binds it with an ArenaScope
+// around the hot region (batch stacking + model inference), and resets it
+// per (config, task) group. While a scope is bound on the thread, every
+// Tensor allocation and ScratchVec lands in the arena instead of the heap;
+// the arithmetic is untouched, so results stay element-wise identical to the
+// heap path (test_runtime asserts it).
+//
+// Accounting rule: every allocation is rounded up to kAlign bytes in BOTH
+// the bump pointer and the `used()` sum, and allocations that miss the
+// buffer fall back to individually heap'd blocks (freed at reset()) while
+// still adding their rounded size to `used()`. A bump arena never reuses
+// memory within a region, so `used()` after a probe run over a
+// zero-capacity arena is *exactly* the capacity a real arena needs to serve
+// the same call sequence overflow-free — the measurement plan_workspace()
+// relies on.
+//
+// Lifetime rule: arena memory is invalidated by reset(); nothing allocated
+// under a scope may escape past the owning worker's reset. In the runtime,
+// the scope ends before decode, so detect::Detection tensors (which escape
+// into InferenceResult) are always heap-backed.
+//
+// An Arena is single-threaded by design (one per worker); only the
+// ArenaScope binding is thread-local.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace itask {
+
+namespace allocdebug {
+
+/// Hook for an instrumented global operator-new interposer (defined only in
+/// test binaries): bumps the calling thread's allocation counter. noexcept
+/// and safe before main.
+void note_alloc() noexcept;
+
+/// Heap allocations observed on this thread since it started (0 unless the
+/// binary interposes operator new and routes it here).
+int64_t thread_alloc_count() noexcept;
+
+}  // namespace allocdebug
+
+class Arena {
+ public:
+  /// Every allocation is rounded to this granularity (cache line).
+  static constexpr int64_t kAlign = 64;
+
+  explicit Arena(int64_t capacity_bytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns kAlign-aligned storage for `bytes` (nullptr when bytes <= 0).
+  /// Falls back to a heap block — freed at reset() — when the buffer is
+  /// exhausted; `used()` accounts the rounded size either way.
+  void* allocate(int64_t bytes);
+
+  /// Invalidates everything allocated since the last reset: rewinds the bump
+  /// pointer and frees overflow blocks. used() returns to 0.
+  void reset();
+
+  /// Enlarges the backing buffer. Only legal when the arena is empty (right
+  /// after reset()); a no-op when the arena is already at least this large.
+  void grow(int64_t capacity_bytes);
+
+  int64_t capacity() const { return capacity_; }
+  /// Rounded bytes handed out since the last reset (exact even when
+  /// allocations overflowed to the heap).
+  int64_t used() const { return used_; }
+  /// Maximum used() ever reached, across resets.
+  int64_t high_water() const { return high_water_; }
+  /// Cumulative count of allocations that missed the buffer (never reset —
+  /// a nonzero delta in steady state means the arena was sized too small).
+  int64_t overflow_allocs() const { return overflow_allocs_; }
+
+ private:
+  char* base_ = nullptr;
+  int64_t capacity_ = 0;
+  int64_t offset_ = 0;
+  int64_t used_ = 0;
+  int64_t high_water_ = 0;
+  int64_t overflow_allocs_ = 0;
+  std::vector<void*> overflow_;
+};
+
+/// RAII thread-local binding: while alive, Tensor/ScratchVec allocations on
+/// this thread come from `arena`. Nests (restores the previous binding).
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// The arena bound on the calling thread, or nullptr (heap policy).
+  static Arena* current() noexcept;
+
+ private:
+  Arena* prev_ = nullptr;
+};
+
+/// Raw scratch buffer for trivially-destructible element types: arena-backed
+/// under an ArenaScope, a plain heap vector otherwise. Zero-filled by
+/// default (arena memory is reused, so callers that skip the fill must
+/// overwrite every element).
+template <typename T>
+class ScratchVec {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ScratchVec elements must be trivially destructible");
+
+ public:
+  explicit ScratchVec(int64_t n, bool zero_fill = true) : size_(n) {
+    if (size_ <= 0) {
+      size_ = 0;
+      return;
+    }
+    if (Arena* arena = ArenaScope::current()) {
+      data_ = static_cast<T*>(
+          arena->allocate(size_ * static_cast<int64_t>(sizeof(T))));
+      if (zero_fill)
+        std::memset(data_, 0, static_cast<size_t>(size_) * sizeof(T));
+    } else {
+      heap_.resize(static_cast<size_t>(size_));  // value-init: zero either way
+      data_ = heap_.data();
+    }
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  int64_t size() const { return size_; }
+  T& operator[](int64_t i) { return data_[i]; }
+  const T& operator[](int64_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  int64_t size_ = 0;
+  std::vector<T> heap_;
+};
+
+}  // namespace itask

@@ -1,6 +1,7 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "tensor/kernel_pool.h"
@@ -28,7 +29,9 @@ enum class BLayout { kKN, kNK };  // row-major [K,N] vs transposed [N,K]
 // requested slab (no geometric resize() overshoot) and no slab exceeds
 // kMC·kKC (A) / kNC·kKC (B) floats — 128 KiB each — so per-thread footprint
 // never passes pack_workspace_cap_bytes(). The thread_local storage itself
-// is released by the vector destructors when the owning thread exits.
+// is released by the vector destructors when the owning thread exits, or
+// eagerly via pack_workspace_release() (KernelPool lanes call it as they
+// retire so a reconfigured pool strands nothing).
 thread_local std::vector<float> tl_apack;
 thread_local std::vector<float> tl_bpack;
 
@@ -303,6 +306,34 @@ int64_t pack_workspace_bytes() {
 
 int64_t pack_workspace_cap_bytes() {
   return static_cast<int64_t>((kMC * kKC + kNC * kKC) * sizeof(float));
+}
+
+namespace {
+
+// Extra thread-local workspace releasers (the int8 kernel registers its
+// int16 workspaces). Guarded: registration runs during static init of
+// whichever binaries link quant, release runs on pool lanes.
+std::mutex releaser_mu;
+std::vector<void (*)()> releasers;
+
+}  // namespace
+
+void register_pack_workspace_releaser(void (*fn)()) {
+  std::lock_guard<std::mutex> lock(releaser_mu);
+  for (void (*r)() : releasers)
+    if (r == fn) return;
+  releasers.push_back(fn);
+}
+
+void pack_workspace_release() {
+  std::vector<float>().swap(tl_apack);
+  std::vector<float>().swap(tl_bpack);
+  std::vector<void (*)()> fns;
+  {
+    std::lock_guard<std::mutex> lock(releaser_mu);
+    fns = releasers;
+  }
+  for (void (*fn)() : fns) fn();
 }
 
 namespace reference {

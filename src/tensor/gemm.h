@@ -82,6 +82,20 @@ int64_t pack_workspace_bytes();
 /// The documented per-thread workspace bound: one A slab + one B slab.
 int64_t pack_workspace_cap_bytes();
 
+/// Frees the calling thread's packing workspaces, plus any additional
+/// thread-local kernel workspaces registered below. Workspaces regrow
+/// lazily on the next kernel call, so this is purely a release valve:
+/// KernelPool lanes call it as they retire (configure(0) would otherwise
+/// strand up to pack_workspace_cap_bytes() per joined worker until process
+/// exit), and tests call it to measure growth from a clean slate.
+void pack_workspace_release();
+
+/// Registers another thread-local workspace releaser for
+/// pack_workspace_release() to invoke on the calling thread
+/// (quant/int8_gemm.cpp registers its int16 packing workspaces this way).
+/// Idempotent per function pointer; thread-safe.
+void register_pack_workspace_releaser(void (*fn)());
+
 /// The pre-kernel-layer naive triple loops, retained verbatim as the parity
 /// baseline for tests and the old-vs-new comparison in bench_k0_gemm. Same
 /// accumulate semantics as the packed kernels.

@@ -1,5 +1,7 @@
 #include "tensor/kernel_pool.h"
 
+#include "tensor/gemm.h"
+
 namespace itask::gemm {
 
 KernelPool& KernelPool::instance() {
@@ -15,6 +17,9 @@ KernelPool::~KernelPool() {
 void KernelPool::configure(int64_t threads) {
   std::lock_guard<std::mutex> user(user_mu_);  // waits out any in-flight run
   stop_workers_locked();
+  // Joined lanes freed their own workspaces on exit; free the calling
+  // thread's too so a configure(0) leaves no slab-sized buffers behind.
+  pack_workspace_release();
   if (threads <= 1) {
     lanes_.store(threads <= 0 ? 0 : 1, std::memory_order_relaxed);
     return;
@@ -86,11 +91,15 @@ void KernelPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       job_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      if (stop_) break;
       seen = generation_;
     }
     drain(seen);
   }
+  // Slab packing grew this lane's thread_local workspaces; release them on
+  // the way out instead of stranding up to pack_workspace_cap_bytes() per
+  // retired lane for the rest of the process.
+  pack_workspace_release();
 }
 
 }  // namespace itask::gemm

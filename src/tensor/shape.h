@@ -1,0 +1,102 @@
+// itask::Shape — fixed-capacity inline dimension vector.
+//
+// Tensor shapes were a std::vector<int64_t>, which made *every* Tensor
+// construction heap-allocate even when its payload came from an arena
+// (tensor/arena.h). Ranks in this repo never exceed 4; an inline array of
+// kMaxRank dims keeps the full std::vector-ish surface the codebase uses
+// (brace init, iterator-range construction, push_back/insert/back) with no
+// allocation ever — a precondition for the zero-steady-state-allocation
+// serving contract test_runtime asserts.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace itask {
+
+/// Throws std::invalid_argument with a formatted message when `cond` is false.
+/// Used for shape/precondition checks across the tensor and nn libraries.
+#define ITASK_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw std::invalid_argument(std::string("itask: ") + (msg) +    \
+                                  " [" #cond "]");                    \
+    }                                                                 \
+  } while (false)
+
+class Shape {
+ public:
+  /// Twice the deepest rank the stack uses ([B, C, H, W]) — headroom, not a
+  /// tuning knob.
+  static constexpr int64_t kMaxRank = 8;
+
+  using value_type = int64_t;
+  using iterator = int64_t*;
+  using const_iterator = const int64_t*;
+
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) {
+    for (int64_t d : dims) push_back(d);
+  }
+  template <typename It>
+  Shape(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  size_t size() const { return static_cast<size_t>(size_); }
+  bool empty() const { return size_ == 0; }
+
+  int64_t& operator[](size_t i) { return dims_[i]; }
+  int64_t operator[](size_t i) const { return dims_[i]; }
+
+  int64_t& back() { return dims_[size_ - 1]; }
+  int64_t back() const { return dims_[size_ - 1]; }
+
+  iterator begin() { return dims_; }
+  iterator end() { return dims_ + size_; }
+  const_iterator begin() const { return dims_; }
+  const_iterator end() const { return dims_ + size_; }
+
+  void push_back(int64_t d) {
+    ITASK_CHECK(size_ < kMaxRank, "Shape: rank exceeds kMaxRank");
+    dims_[size_++] = d;
+  }
+
+  iterator insert(const_iterator pos, int64_t value) {
+    return insert(pos, &value, &value + 1);
+  }
+
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const int64_t at = pos - dims_;
+    int64_t count = 0;
+    for (It it = first; it != last; ++it) ++count;
+    ITASK_CHECK(size_ + count <= kMaxRank, "Shape: rank exceeds kMaxRank");
+    for (int64_t i = size_ - 1; i >= at; --i) dims_[i + count] = dims_[i];
+    int64_t* dst = dims_ + at;
+    for (; first != last; ++first) *dst++ = *first;
+    size_ += count;
+    return dims_ + at;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.size_ != b.size_) return false;
+    for (int64_t i = 0; i < a.size_; ++i)
+      if (a.dims_[i] != b.dims_[i]) return false;
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  int64_t dims_[kMaxRank] = {};
+  int64_t size_ = 0;
+};
+
+/// Returns the number of elements implied by a shape (product of dims).
+int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" rendering of a shape, for error messages.
+std::string shape_to_string(const Shape& shape);
+
+}  // namespace itask

@@ -1,7 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
+
+#include "tensor/arena.h"
 
 namespace itask {
 
@@ -25,18 +29,83 @@ std::string shape_to_string(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+void Tensor::allocate(float fill) {
+  allocate_uninit();
+  std::fill_n(data_, numel_, fill);
+}
 
-Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+// Note: a default-constructed Tensor has an empty shape AND numel 0, while
+// shape_numel({}) is 1 (a scalar) — so copies/views size themselves from the
+// source's numel, never by recomputing it from the shape.
+void Tensor::allocate_uninit() {
+  if (Arena* arena = ArenaScope::current()) {
+    data_ = static_cast<float*>(
+        arena->allocate(numel_ * static_cast<int64_t>(sizeof(float))));
+  } else {
+    // heap_.resize value-initialises; the "uninit" contract only matters on
+    // the arena path, where memory is reused across resets. Every caller of
+    // allocate_uninit overwrites the full extent (or fills, for allocate).
+    heap_.resize(static_cast<size_t>(numel_));
+    data_ = heap_.data();
+  }
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  allocate(0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  allocate(fill);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  ITASK_CHECK(static_cast<int64_t>(data_.size()) == shape_numel(shape_),
+    : shape_(std::move(shape)), heap_(std::move(values)) {
+  ITASK_CHECK(static_cast<int64_t>(heap_.size()) == shape_numel(shape_),
               "value count does not match shape " + shape_to_string(shape_));
+  numel_ = static_cast<int64_t>(heap_.size());
+  data_ = heap_.data();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), numel_(other.numel_) {
+  allocate_uninit();
+  if (numel_ > 0)
+    std::memcpy(data_, other.data_,
+                static_cast<size_t>(numel_) * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    Tensor copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      data_(other.data_),
+      numel_(other.numel_),
+      heap_(std::move(other.heap_)) {
+  // A moved vector keeps its buffer, so a heap-backed data_ stays valid.
+  other.shape_ = Shape{};
+  other.data_ = nullptr;
+  other.numel_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    shape_ = other.shape_;
+    data_ = other.data_;
+    numel_ = other.numel_;
+    heap_ = std::move(other.heap_);
+    other.shape_ = Shape{};
+    other.data_ = nullptr;
+    other.numel_ = 0;
+  }
+  return *this;
 }
 
 Tensor Tensor::from_values(std::initializer_list<float> values) {
@@ -59,6 +128,18 @@ Tensor Tensor::from_rows(
   return Tensor({r, c}, std::move(values));
 }
 
+Tensor Tensor::borrow(Shape shape, std::span<const float> storage) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  ITASK_CHECK(static_cast<int64_t>(storage.size()) == t.numel_,
+              "borrow: storage size does not match shape " +
+                  shape_to_string(t.shape_));
+  // Read-only by contract (see tensor.h); the view itself never writes.
+  t.data_ = const_cast<float*>(storage.data());
+  return t;
+}
+
 int64_t Tensor::dim(int64_t i) const {
   ITASK_CHECK(i >= 0 && i < ndim(), "dim index out of range");
   return shape_[static_cast<size_t>(i)];
@@ -67,13 +148,13 @@ int64_t Tensor::dim(int64_t i) const {
 float& Tensor::operator[](int64_t flat_index) {
   ITASK_CHECK(flat_index >= 0 && flat_index < numel(),
               "flat index out of range");
-  return data_[static_cast<size_t>(flat_index)];
+  return data_[flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
   ITASK_CHECK(flat_index >= 0 && flat_index < numel(),
               "flat index out of range");
-  return data_[static_cast<size_t>(flat_index)];
+  return data_[flat_index];
 }
 
 int64_t Tensor::flat_offset(std::initializer_list<int64_t> indices) const {
@@ -91,18 +172,25 @@ int64_t Tensor::flat_offset(std::initializer_list<int64_t> indices) const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> indices) {
-  return data_[static_cast<size_t>(flat_offset(indices))];
+  return data_[flat_offset(indices)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> indices) const {
-  return data_[static_cast<size_t>(flat_offset(indices))];
+  return data_[flat_offset(indices)];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
   ITASK_CHECK(shape_numel(new_shape) == numel(),
               "reshape element count mismatch: " + shape_to_string(shape_) +
                   " -> " + shape_to_string(new_shape));
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  out.allocate_uninit();
+  if (out.numel_ > 0)
+    std::memcpy(out.data_, data_,
+                static_cast<size_t>(out.numel_) * sizeof(float));
+  return out;
 }
 
 Tensor Tensor::row(int64_t i) const {
@@ -114,31 +202,33 @@ Tensor Tensor::index(int64_t i) const {
   ITASK_CHECK(ndim() >= 1, "index() requires at least 1-D");
   const int64_t lead = shape_[0];
   ITASK_CHECK(i >= 0 && i < lead, "index() out of range");
-  Shape sub(shape_.begin() + 1, shape_.end());
-  const int64_t stride = shape_numel(sub);
-  std::vector<float> values(data_.begin() + i * stride,
-                            data_.begin() + (i + 1) * stride);
-  return Tensor(std::move(sub), std::move(values));
+  Tensor out;
+  out.shape_ = Shape(shape_.begin() + 1, shape_.end());
+  out.numel_ = shape_numel(out.shape_);
+  out.allocate_uninit();
+  if (out.numel_ > 0)
+    std::memcpy(out.data_, data_ + i * out.numel_,
+                static_cast<size_t>(out.numel_) * sizeof(float));
+  return out;
 }
 
 void Tensor::set_index(int64_t i, const Tensor& value) {
   ITASK_CHECK(ndim() >= 1, "set_index() requires at least 1-D");
   const int64_t lead = shape_[0];
   ITASK_CHECK(i >= 0 && i < lead, "set_index() out of range");
-  Shape sub(shape_.begin() + 1, shape_.end());
+  const Shape sub(shape_.begin() + 1, shape_.end());
   ITASK_CHECK(value.shape() == sub, "set_index() shape mismatch");
   const int64_t stride = shape_numel(sub);
-  std::copy(value.data_.begin(), value.data_.end(),
-            data_.begin() + i * stride);
+  if (stride > 0)
+    std::memcpy(data_ + i * stride, value.data_,
+                static_cast<size_t>(stride) * sizeof(float));
 }
 
-void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
+void Tensor::fill(float value) { std::fill_n(data_, numel_, value); }
 
 bool Tensor::allclose(const Tensor& other, float atol) const {
   if (shape_ != other.shape_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
+  for (int64_t i = 0; i < numel_; ++i) {
     const float diff = data_[i] - other.data_[i];
     if (diff > atol || diff < -atol) return false;
   }
@@ -151,7 +241,7 @@ std::string Tensor::to_string() const {
   const int64_t show = std::min<int64_t>(numel(), 8);
   for (int64_t i = 0; i < show; ++i) {
     if (i != 0) os << ", ";
-    os << data_[static_cast<size_t>(i)];
+    os << data_[i];
   }
   if (numel() > show) os << ", …";
   os << '}';

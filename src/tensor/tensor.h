@@ -7,6 +7,13 @@
 //  * All shape arithmetic uses int64_t to avoid narrowing surprises.
 //  * Errors are programming errors, reported via ITASK_CHECK (throws
 //    std::invalid_argument) so tests can assert on misuse.
+//  * Allocator seam (tensor/arena.h): a tensor owns a heap vector by
+//    default, but while an ArenaScope is bound on the constructing thread,
+//    new storage comes from that arena instead — same values, same layout,
+//    no heap traffic. Arena-backed tensors are invalidated by the arena's
+//    reset(); they must not outlive the scope's owner (the runtime ends its
+//    scope before anything escapes a worker). Tensor::borrow() additionally
+//    gives a non-owning view over caller storage.
 #pragma once
 
 #include <cstdint>
@@ -16,25 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "tensor/shape.h"
+
 namespace itask {
-
-/// Throws std::invalid_argument with a formatted message when `cond` is false.
-/// Used for shape/precondition checks across the tensor and nn libraries.
-#define ITASK_CHECK(cond, msg)                                        \
-  do {                                                                \
-    if (!(cond)) {                                                    \
-      throw std::invalid_argument(std::string("itask: ") + (msg) +    \
-                                  " [" #cond "]");                    \
-    }                                                                 \
-  } while (false)
-
-using Shape = std::vector<int64_t>;
-
-/// Returns the number of elements implied by a shape (product of dims).
-int64_t shape_numel(const Shape& shape);
-
-/// Human-readable "[2, 3, 4]" rendering of a shape, for error messages.
-std::string shape_to_string(const Shape& shape);
 
 /// Dense row-major FP32 tensor with value semantics.
 class Tensor {
@@ -49,8 +40,15 @@ class Tensor {
   Tensor(Shape shape, float fill);
 
   /// Tensor with explicit contents; `values.size()` must equal the shape's
-  /// element count.
+  /// element count. Always adopts the vector as heap storage (the values
+  /// were already allocated), even under an ArenaScope.
   Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
 
   /// Builds a 1-D tensor from a list of values.
   static Tensor from_values(std::initializer_list<float> values);
@@ -59,14 +57,25 @@ class Tensor {
   static Tensor from_rows(
       std::initializer_list<std::initializer_list<float>> rows);
 
+  /// Non-owning read-only view over caller storage (no copy, no
+  /// allocation) — how the runtime serves a singleton group straight from
+  /// the request's own tensor. Contract: the storage outlives the view and
+  /// the view is only read through const access; copying it makes a normal
+  /// owning tensor.
+  static Tensor borrow(Shape shape, std::span<const float> storage);
+
   const Shape& shape() const { return shape_; }
   int64_t dim(int64_t i) const;
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
-  std::span<float> data() { return std::span<float>(data_); }
-  std::span<const float> data() const { return std::span<const float>(data_); }
+  std::span<float> data() {
+    return std::span<float>(data_, static_cast<size_t>(numel_));
+  }
+  std::span<const float> data() const {
+    return std::span<const float>(data_, static_cast<size_t>(numel_));
+  }
 
   /// Flat element access (row-major order).
   float& operator[](int64_t flat_index);
@@ -98,9 +107,18 @@ class Tensor {
 
  private:
   int64_t flat_offset(std::initializer_list<int64_t> indices) const;
+  /// Sizes storage for shape_ via the current allocation policy (arena when
+  /// an ArenaScope is bound, heap otherwise) and fills it.
+  void allocate(float fill);
+  /// Same, leaving arena storage uninitialised (callers overwrite fully).
+  void allocate_uninit();
 
   Shape shape_;
-  std::vector<float> data_;
+  float* data_ = nullptr;
+  int64_t numel_ = 0;
+  /// Owning storage on the heap policy; empty for arena-backed or borrowed
+  /// tensors (whose data_ the tensor does not own).
+  std::vector<float> heap_;
 };
 
 }  // namespace itask

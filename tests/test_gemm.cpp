@@ -217,12 +217,55 @@ TEST(GemmPrepack, PackWorkspaceStaysBoundedBySlabCap) {
   EXPECT_LE(gemm::pack_workspace_bytes(), gemm::pack_workspace_cap_bytes());
 }
 
+TEST(GemmPrepack, PackWorkspaceReleaseFreesAndRegrows) {
+  // The release valve for retiring threads: frees this thread's packing
+  // workspaces (including the int8 ones registered by quant/int8_gemm) and
+  // the next kernel call transparently regrows them with unchanged results.
+  Rng rng(6);
+  const int64_t m = 64, k = 96, n = 48;
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({n, k});
+  Tensor c({m, n});
+  gemm::gemm_bt(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  ASSERT_GT(gemm::pack_workspace_bytes(), 0);
+  gemm::pack_workspace_release();
+  EXPECT_EQ(gemm::pack_workspace_bytes(), 0);
+  gemm::pack_workspace_release();  // idempotent
+  EXPECT_EQ(gemm::pack_workspace_bytes(), 0);
+  Tensor c2({m, n});
+  gemm::gemm_bt(a.data().data(), b.data().data(), c2.data().data(), m, k, n);
+  EXPECT_GT(gemm::pack_workspace_bytes(), 0);
+  for (int64_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(c2[i], c[i]) << "release changed kernel results at " << i;
+  }
+}
+
 // ---- kernel thread pool ---------------------------------------------------
 
 // Restores the single-core default even when a test fails mid-way.
 struct PoolGuard {
   ~PoolGuard() { gemm::KernelPool::instance().configure(0); }
 };
+
+TEST(GemmKernelPool, ConfigureReleasesCallingThreadPackWorkspaces) {
+  // Reconfiguring the pool is the lifecycle moment workspaces strand: joined
+  // lanes free their own on exit, and configure() releases the calling
+  // thread's so a server teardown leaves no thread-local slabs behind.
+  PoolGuard guard;
+  Rng rng(7);
+  const int64_t m = 64, k = 96, n = 48;
+  const Tensor a = rng.randn({m, k});
+  const Tensor b = rng.randn({n, k});
+  Tensor c({m, n});
+  gemm::gemm_bt(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  ASSERT_GT(gemm::pack_workspace_bytes(), 0);
+  gemm::KernelPool::instance().configure(2);
+  EXPECT_EQ(gemm::pack_workspace_bytes(), 0);
+  gemm::gemm_bt(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  ASSERT_GT(gemm::pack_workspace_bytes(), 0);
+  gemm::KernelPool::instance().configure(0);
+  EXPECT_EQ(gemm::pack_workspace_bytes(), 0);
+}
 
 TEST(GemmKernelPool, Fp32DeterministicAcrossRunsAndThreadCounts) {
   PoolGuard guard;

@@ -12,8 +12,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <new>
 #include <set>
 #include <string>
 #include <thread>
@@ -26,9 +28,64 @@
 #include "runtime/queue.h"
 #include "runtime/server.h"
 #include "runtime/trace.h"
+#include "tensor/arena.h"
 #include "tensor/gemm.h"
 #include "tensor/kernel_pool.h"
 #include "tensor/profile.h"
+
+// ------------------------- instrumented global allocator --------------------
+// This binary replaces the ordinary (and aligned) operator new/delete so that
+// every heap allocation bumps the allocating thread's allocdebug counter —
+// the instrument behind the zero-steady-state-allocation serving contract:
+// the server reads the counter delta around each worker's arena-scoped
+// region and surfaces it as the `hot_path_allocs` metric, which the Arena*
+// tests below assert stops moving after warmup. Allocations route through
+// malloc / posix_memalign, which ASan and TSan intercept as usual, so the
+// sanitized runs of this suite keep their full coverage. The nothrow
+// variants need no replacement: the defaults forward to these.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  itask::allocdebug::note_alloc();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  itask::allocdebug::note_alloc();
+  if (size == 0) size = 1;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace itask::runtime {
 namespace {
@@ -70,6 +127,28 @@ TEST(BoundedQueue, BatchClosesAtMaxItems) {
   ASSERT_EQ(batch.size(), 4u);  // size rule fires before the deadline
   for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
   EXPECT_EQ(q.size(), 3);
+}
+
+TEST(BoundedQueue, PopIntoCallerBufferReusesStorageNoAlloc) {
+  // The allocation-free overload the worker loop uses: the caller owns the
+  // batch vector, pop_batch clears and refills it, and once the buffer has
+  // grown to max_items a steady-state pop performs zero heap allocations.
+  BoundedQueue<int> q(16);
+  std::vector<int> batch;
+  batch.reserve(4);  // warm: capacity covers every batch below
+  for (int i = 0; i < 6; ++i) q.try_push(i);
+  const int64_t before = allocdebug::thread_alloc_count();
+  q.pop_batch(4, kNoWait, batch);
+  EXPECT_EQ(allocdebug::thread_alloc_count(), before);
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  q.pop_batch(4, kNoWait, batch);  // refill clears the previous contents
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 4);
+  EXPECT_EQ(batch[1], 5);
+  q.close();
+  q.pop_batch(4, kNoWait, batch);  // closed and drained → empty batch
+  EXPECT_TRUE(batch.empty());
 }
 
 TEST(BoundedQueue, BatchClosesAtDeadline) {
@@ -1358,6 +1437,131 @@ TEST_F(RuntimeServing, LiveOnboardingServesThroughPublishes) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------- arena ----
+// The allocation-free steady-state serving suite. These tests (plus the
+// Arena*/ArenaScope*/ScratchVec* units in test_tensor and the workspace
+// tests in test_gemm) run first under ASan in CI — filter `*Arena*`.
+
+TEST_F(RuntimeServing, ArenaZeroSteadyStateAllocationsBothConfigs) {
+  // The headline contract: after warmup, a serving worker performs ZERO heap
+  // allocations inside the arena-scoped hot region (batch stacking + full
+  // model inference, INT8 scratch included) — on both deployable
+  // configurations. The instrumented operator new at the top of this file
+  // feeds the `hot_path_allocs` counter; the only allocations it may see are
+  // the thread-local GEMM pack workspaces, which grow once during warmup.
+  RuntimeOptions opts;
+  opts.workers = 1;          // one worker = one arena = exact accounting
+  opts.max_batch = 4;
+  opts.max_wait_us = 50000;  // a burst of max_batch same-config requests
+                             // always closes as ONE full batch (FIFO pop),
+                             // never split by scheduling jitter
+  opts.queue_capacity = 64;
+  InferenceServer server(*snap_, opts);
+  const auto drive = [&](int64_t rounds) {
+    for (int64_t r = 0; r < rounds; ++r) {
+      for (const ConfigKind config :
+           {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+        std::vector<std::future<InferenceResult>> futures;
+        for (int64_t i = 0; i < opts.max_batch; ++i) {
+          auto f = server.try_submit(eval_->scene(i).image, *task_, config);
+          ASSERT_TRUE(f.admitted());
+          futures.push_back(std::move(*f.future));
+        }
+        for (auto& f : futures) {
+          // Full homogeneous micro-batches: the worst-case (largest) arena
+          // and pack-workspace footprint from the very first round.
+          EXPECT_EQ(f.get().batch_size, opts.max_batch);
+        }
+      }
+    }
+  };
+  drive(2);  // warmup: both configs at the full batch size
+  const int64_t warm = server.metrics().counter("hot_path_allocs").value();
+  // Warmup cost is bounded — a handful of workspace grows, not per-request
+  // churn.
+  EXPECT_LE(warm, 64);
+  drive(4);  // steady state: 8 more micro-batches across both configs
+  EXPECT_EQ(server.metrics().counter("hot_path_allocs").value(), warm)
+      << "the serving hot path heap-allocated after warmup";
+  // plan_workspace() sized the arena to cover every group: nothing spilled,
+  // and the per-group high water stays within the planned capacity.
+  EXPECT_EQ(server.metrics().counter("arena_overflow_allocs").value(), 0);
+  const auto used = server.metrics().histogram("arena_used_bytes").snapshot();
+  EXPECT_EQ(used.count, 12);  // one sample per (config, task) group
+  EXPECT_GT(used.max, 0.0);
+  EXPECT_LE(used.max,
+            static_cast<double>((*snap_)->plan_workspace(opts.max_batch)));
+}
+
+TEST_F(RuntimeServing, ArenaResultsElementWiseIdenticalToHeapPathAndSerial) {
+  // The arena only moves where intermediates live, never the arithmetic:
+  // with use_arena on or off, every request's detections are element-wise
+  // identical to the serial path (and therefore to each other). Mixed
+  // configs in one stream exercise multiple groups — and arena resets —
+  // per micro-batch.
+  const auto config_of = [](int64_t i) {
+    return (i % 2 == 0) ? ConfigKind::kTaskSpecific
+                        : ConfigKind::kQuantizedMultiTask;
+  };
+  for (const bool use_arena : {true, false}) {
+    std::vector<std::future<InferenceResult>> futures;
+    {
+      RuntimeOptions opts;
+      opts.workers = 2;
+      opts.max_batch = 4;
+      opts.max_wait_us = 500;
+      opts.queue_capacity = 64;
+      opts.use_arena = use_arena;
+      InferenceServer server(*snap_, opts);
+      for (int64_t i = 0; i < eval_->size(); ++i) {
+        auto f = server.try_submit(eval_->scene(i).image, *task_,
+                                   config_of(i));
+        ASSERT_TRUE(f.admitted());
+        futures.push_back(std::move(*f.future));
+      }
+    }  // destructor drains: all futures fulfilled
+    for (int64_t i = 0; i < eval_->size(); ++i) {
+      InferenceResult r = futures[static_cast<size_t>(i)].get();
+      const auto serial = fw_->detect(eval_->scene(i).image, *task_,
+                                      config_of(i));
+      expect_same_detections(r.detections, serial);
+    }
+  }
+}
+
+TEST_F(RuntimeServing, ArenaSingletonGroupServesBorrowedViewIdentically) {
+  // max_batch = 1 forces every group to be a singleton, which the worker
+  // serves through a borrowed [1, C, H, W] view of the request's own tensor
+  // — no stacking copy — still element-wise identical to the serial path.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 64;
+  InferenceServer server(*snap_, opts);
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    for (int64_t i = 0; i < 8; ++i) {
+      auto f = server.try_submit(eval_->scene(i).image, *task_, config);
+      ASSERT_TRUE(f.admitted());
+      InferenceResult r = f.future->get();
+      EXPECT_EQ(r.batch_size, 1);
+      const auto serial = fw_->detect(eval_->scene(i).image, *task_, config);
+      expect_same_detections(r.detections, serial);
+    }
+  }
+  EXPECT_EQ(server.metrics().counter("arena_overflow_allocs").value(), 0);
+}
+
+TEST_F(RuntimeServing, ArenaPlanWorkspaceMeasuresMonotoneCapacity) {
+  const int64_t one = (*snap_)->plan_workspace(1);
+  const int64_t four = (*snap_)->plan_workspace(4);
+  EXPECT_GT(one, 0);
+  EXPECT_GE(four, one);  // bigger micro-batches need at least as much
+  EXPECT_EQ(one % Arena::kAlign, 0);  // rounded bump accounting
+  EXPECT_THROW((*snap_)->plan_workspace(0), std::invalid_argument);
 }
 
 }  // namespace

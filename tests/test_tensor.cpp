@@ -1,7 +1,12 @@
 // Unit tests for the Tensor class: construction, indexing, reshaping,
-// sub-tensor access, and precondition checking.
+// sub-tensor access, and precondition checking — plus the allocator seam
+// (Shape SBO, Arena/ArenaScope/ScratchVec, Tensor::borrow).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace itask {
@@ -132,6 +137,211 @@ TEST(Tensor, ToStringTruncates) {
   const std::string s = t.to_string();
   EXPECT_NE(s.find("Tensor[20]"), std::string::npos);
   EXPECT_NE(s.find("…"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- shape ----
+
+TEST(ShapeSbo, VectorishSurface) {
+  Shape s{3, 24, 24};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s.back(), 24);
+  s.push_back(7);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.back(), 7);
+  // Single-value insert at the front — the detect() batching idiom.
+  s.insert(s.begin(), 1);
+  EXPECT_EQ(s, (Shape{1, 3, 24, 24, 7}));
+  // Range insert at the end — the ops::stack idiom.
+  const Shape tail{5, 6};
+  Shape t{9};
+  t.insert(t.end(), tail.begin(), tail.end());
+  EXPECT_EQ(t, (Shape{9, 5, 6}));
+  // Iterator-range construction drops the leading dim like index() does.
+  const Shape sub(s.begin() + 1, s.end());
+  EXPECT_EQ(sub, (Shape{3, 24, 24, 7}));
+}
+
+TEST(ShapeSbo, RankOverflowThrows) {
+  Shape s;
+  for (int64_t i = 0; i < Shape::kMaxRank; ++i) s.push_back(i);
+  EXPECT_THROW(s.push_back(99), std::invalid_argument);
+  Shape t{1, 2};
+  const Shape big{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(t.insert(t.end(), big.begin(), big.end()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- arena ----
+
+TEST(Arena, BumpAllocatesAlignedAndAccountsRounded) {
+  Arena a(1024);
+  EXPECT_EQ(a.capacity(), 1024);
+  void* p = a.allocate(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlign, 0u);
+  // Accounting rounds every allocation up to kAlign in used() too.
+  EXPECT_EQ(a.used(), Arena::kAlign);
+  a.allocate(65);  // rounds to 128
+  EXPECT_EQ(a.used(), Arena::kAlign + 128);
+  EXPECT_EQ(a.overflow_allocs(), 0);
+  EXPECT_EQ(a.allocate(0), nullptr);
+  EXPECT_EQ(a.used(), Arena::kAlign + 128);  // zero-byte asks are free
+  a.reset();
+  EXPECT_EQ(a.used(), 0);
+  EXPECT_EQ(a.high_water(), Arena::kAlign + 128);
+}
+
+TEST(Arena, ZeroCapacityProbeMeasuresExactRequiredCapacity) {
+  // The plan_workspace() measurement rule: run the call sequence over a
+  // zero-capacity arena (everything overflows), read used(), and an arena of
+  // exactly that capacity serves the same sequence overflow-free.
+  const auto sequence = [](Arena& a) {
+    a.allocate(40);
+    a.allocate(100);
+    a.allocate(64);
+  };
+  Arena probe(0);
+  sequence(probe);
+  EXPECT_EQ(probe.overflow_allocs(), 3);
+  const int64_t required = probe.used();
+  EXPECT_EQ(required, 64 + 128 + 64);
+  Arena sized(required);
+  sequence(sized);
+  EXPECT_EQ(sized.overflow_allocs(), 0);
+  EXPECT_EQ(sized.used(), required);
+  // One byte less and the sequence overflows.
+  Arena tight(required - 1);  // rounds up to `required` — still fits
+  sequence(tight);
+  EXPECT_EQ(tight.overflow_allocs(), 0);
+  Arena small(required - Arena::kAlign);
+  sequence(small);
+  EXPECT_GT(small.overflow_allocs(), 0);
+  EXPECT_EQ(small.used(), required);  // accounting unaffected by overflow
+}
+
+TEST(Arena, OverflowBlocksAreUsableAndFreedOnReset) {
+  Arena a(64);
+  float* fits = static_cast<float*>(a.allocate(64));
+  float* spills = static_cast<float*>(a.allocate(256));
+  ASSERT_NE(fits, nullptr);
+  ASSERT_NE(spills, nullptr);
+  std::memset(spills, 0, 256);
+  spills[0] = 7.0f;
+  EXPECT_EQ(a.overflow_allocs(), 1);
+  a.reset();  // frees the overflow block (ASan would flag a leak/UAF)
+  EXPECT_EQ(a.used(), 0);
+  EXPECT_EQ(a.overflow_allocs(), 1);  // cumulative by design
+}
+
+TEST(Arena, GrowRequiresEmptyAndPreservesNothing) {
+  Arena a(64);
+  a.allocate(32);
+  EXPECT_THROW(a.grow(1024), std::invalid_argument);
+  a.reset();
+  a.grow(1024);
+  EXPECT_GE(a.capacity(), 1024);
+  a.grow(64);  // no-op shrink request
+  EXPECT_GE(a.capacity(), 1024);
+  float* p = static_cast<float*>(a.allocate(512));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.overflow_allocs(), 0);
+}
+
+TEST(ArenaScope, BindsPerThreadAndNests) {
+  EXPECT_EQ(ArenaScope::current(), nullptr);
+  Arena outer(4096), inner(4096);
+  {
+    ArenaScope s1(outer);
+    EXPECT_EQ(ArenaScope::current(), &outer);
+    {
+      ArenaScope s2(inner);
+      EXPECT_EQ(ArenaScope::current(), &inner);
+    }
+    EXPECT_EQ(ArenaScope::current(), &outer);
+  }
+  EXPECT_EQ(ArenaScope::current(), nullptr);
+}
+
+TEST(ArenaScope, TensorStorageComesFromBoundArena) {
+  Arena a(1 << 16);
+  {
+    ArenaScope scope(a);
+    Tensor t({4, 4}, 2.0f);
+    EXPECT_EQ(a.used(), 64);  // 16 floats round to one cache line
+    EXPECT_EQ(t.at({3, 3}), 2.0f);
+    Tensor copy = t;  // copies allocate from the arena too
+    EXPECT_EQ(a.used(), 128);
+    EXPECT_TRUE(copy.allclose(t, 0.0f));
+  }
+  a.reset();
+  // Values-adopting construction stays on the heap even under a scope: the
+  // vector was already allocated.
+  ArenaScope scope(a);
+  Tensor v({2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(a.used(), 0);
+  EXPECT_EQ(v[1], 2.0f);
+}
+
+TEST(ArenaScope, ArenaAndHeapTensorsAreElementWiseIdentical) {
+  // The identity that makes the serving arena invisible to results: the same
+  // construction sequence under a scope yields bit-equal values.
+  const auto build = [] {
+    Tensor t({3, 5}, 0.5f);
+    t.at({2, 4}) = -1.25f;
+    Tensor r = t.reshape({5, 3});
+    return r.index(4);
+  };
+  const Tensor heap = build();
+  Arena a(1 << 16);
+  Tensor from_arena;
+  {
+    ArenaScope scope(a);
+    Tensor inside = build();
+    from_arena = Tensor(inside.shape(), std::vector<float>(
+                            inside.data().begin(), inside.data().end()));
+  }
+  ASSERT_EQ(heap.shape(), from_arena.shape());
+  for (int64_t i = 0; i < heap.numel(); ++i)
+    EXPECT_EQ(heap[i], from_arena[i]);
+}
+
+TEST(ScratchVec, ArenaBackedUnderScopeHeapOtherwise) {
+  Arena a(4096);
+  {
+    ArenaScope scope(a);
+    ScratchVec<int32_t> s(10);
+    EXPECT_EQ(s.size(), 10);
+    EXPECT_EQ(a.used(), 64);  // 40 bytes rounds to one line
+    for (int64_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], 0);
+    ScratchVec<float> raw(4, /*zero_fill=*/false);
+    raw[0] = 1.5f;
+    EXPECT_EQ(raw[0], 1.5f);
+  }
+  a.reset();
+  ScratchVec<int32_t> heap(10);
+  EXPECT_EQ(a.used(), 0);
+  for (int64_t i = 0; i < heap.size(); ++i) EXPECT_EQ(heap[i], 0);
+  ScratchVec<float> empty(0);
+  EXPECT_EQ(empty.size(), 0);
+}
+
+// --------------------------------------------------------------- borrow ----
+
+TEST(TensorBorrow, ViewsCallerStorageWithoutCopy) {
+  const Tensor owner({3, 4}, 1.5f);
+  const Tensor view = Tensor::borrow({1, 3, 4}, owner.data());
+  EXPECT_EQ(view.shape(), (Shape{1, 3, 4}));
+  EXPECT_EQ(view.numel(), 12);
+  // Same storage, not a copy.
+  EXPECT_EQ(view.data().data(), owner.data().data());
+  EXPECT_EQ(view.at({0, 2, 3}), 1.5f);
+  // Copying the view materialises an owning tensor.
+  const Tensor copy = view;
+  EXPECT_NE(copy.data().data(), owner.data().data());
+  EXPECT_TRUE(copy.allclose(view, 0.0f));
+  EXPECT_THROW(Tensor::borrow({2, 3, 4}, owner.data()),
+               std::invalid_argument);
 }
 
 }  // namespace
