@@ -110,6 +110,14 @@ std::vector<std::vector<detect::Detection>> DeploymentSnapshot::decode_batch(
                           pipeline_);
 }
 
+std::optional<kg::TaskId> DeploymentSnapshot::first_missing_task(
+    const DeploymentSnapshot& older) const {
+  for (const kg::TaskId id : older.tasks().ids()) {
+    if (!tasks_.contains(id)) return id;
+  }
+  return std::nullopt;
+}
+
 int64_t DeploymentSnapshot::plan_workspace(int64_t max_batch) const {
   ITASK_CHECK(max_batch >= 1, "plan_workspace: max_batch must be >= 1");
   Shape batched = expected_input_shape_;

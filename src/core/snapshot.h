@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/policy.h"
@@ -102,6 +103,16 @@ class DeploymentSnapshot {
   /// not been reset yet.
   std::vector<std::vector<detect::Detection>> decode_batch(
       const vit::VitOutput& output, kg::TaskId id, ConfigKind config) const;
+
+  /// The version-skew tolerance contract behind staged fleet rollouts: a
+  /// newer snapshot must contain every task of `older` (task tables only
+  /// grow), so shards at mixed versions serve identical results for any
+  /// task the older version knew and a request admitted against one shard's
+  /// version is servable on any other. Returns the first task of `older`
+  /// missing from this snapshot, or nullopt when fully covered — the fleet
+  /// asserts nullopt before rolling a snapshot onto any shard.
+  std::optional<kg::TaskId> first_missing_task(
+      const DeploymentSnapshot& older) const;
 
   /// Peak arena bytes one serving worker needs for any micro-batch of up to
   /// `max_batch` images on any (task, config) this snapshot serves — the

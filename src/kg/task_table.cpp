@@ -10,6 +10,22 @@ std::string task_id_to_string(TaskId id) {
   return "task " + std::to_string(id.value);
 }
 
+std::uint64_t task_route_hash(TaskId id, std::uint64_t salt) {
+  ITASK_CHECK(id.value >= 0,
+              "task_route_hash: id must be assigned (value >= 0)");
+  // splitmix64 finalizer over the (id, salt) combination. The golden-ratio
+  // multiply decorrelates salts that differ by small integers (shard
+  // indices), then two xor-shift/multiply rounds avalanche the task bits.
+  std::uint64_t x =
+      static_cast<std::uint64_t>(id.value) + salt * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 void TaskTable::add(TaskId id, std::string label, CompiledTask compiled) {
   ITASK_CHECK(id.value >= 0, "TaskTable::add: id must be >= 0");
   const auto [it, inserted] = entries_.emplace(

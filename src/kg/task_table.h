@@ -12,6 +12,7 @@
 #pragma once
 
 #include <compare>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +30,17 @@ struct TaskId {
 
 /// "task <value>" for error messages and trace lines.
 std::string task_id_to_string(TaskId id);
+
+/// Stable 64-bit mix of (task id, salt) — the fleet router's shard key.
+/// Rendezvous (highest-random-weight) placement hashes every task against a
+/// per-shard salt and routes to the argmax, so placement depends only on the
+/// stable TaskId value and the shard set: it survives re-preparation,
+/// re-publication, process restarts, and adding shards moves only the tasks
+/// that rendezvous onto the new shard. splitmix64-style finalizer: cheap,
+/// deterministic across platforms, and avalanche enough that consecutive
+/// TaskIds spread evenly. Requires id.value >= 0 (an unassigned TaskId has
+/// no placement).
+std::uint64_t task_route_hash(TaskId id, std::uint64_t salt);
 
 /// Compiled tasks keyed by TaskId. Value-semantic (copying a table copies
 /// the dense compiled vectors); lookups return stable pointers into the

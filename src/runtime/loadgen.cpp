@@ -1,0 +1,116 @@
+#include "runtime/loadgen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace itask::runtime {
+
+const char* arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Uniform double in (0, 1] — the exponential-sampling form: log(u) is finite
+// because u never hits 0, and u = 1 gives the legal inter-arrival 0.
+double uniform_unit(Rng& rng) {
+  return 1.0 - static_cast<double>(rng.uniform(0.0f, 1.0f));
+}
+
+// The instantaneous arrival rate at absolute time t: flat for Poisson,
+// duty-cycled for bursty (burst_duty leading fraction of every period runs
+// hot at rate*factor, the rest cold at rate/factor).
+double rate_at(const LoadGenOptions& o, double t_us) {
+  if (o.arrivals == ArrivalProcess::kPoisson) return o.rate_rps;
+  const double phase =
+      std::fmod(t_us, static_cast<double>(o.burst_period_us)) /
+      static_cast<double>(o.burst_period_us);
+  return phase < o.burst_duty ? o.rate_rps * o.burst_factor
+                              : o.rate_rps / o.burst_factor;
+}
+
+// Zipf CDF over ranks 0..n-1 with exponent s: P(rank r) ∝ 1/(r+1)^s.
+// s = 0 degenerates to uniform. Sampling is a binary search over the CDF.
+std::vector<double> zipf_cdf(int64_t n, double s) {
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[static_cast<size_t>(r)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+int64_t sample_rank(const std::vector<double>& cdf, Rng& rng) {
+  const double u = static_cast<double>(rng.uniform(0.0f, 1.0f));
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(cdf.size()) - 1;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi) / 2;
+    if (cdf[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<GeneratedRequest> generate_schedule(const LoadGenOptions& o,
+                                                Rng& rng) {
+  ITASK_CHECK(o.requests >= 1, "generate_schedule: requests must be >= 1");
+  ITASK_CHECK(o.rate_rps > 0.0, "generate_schedule: rate_rps must be > 0");
+  ITASK_CHECK(o.tasks >= 1, "generate_schedule: tasks must be >= 1");
+  ITASK_CHECK(o.zipf_s >= 0.0, "generate_schedule: zipf_s must be >= 0");
+  ITASK_CHECK(o.tenants >= 1, "generate_schedule: tenants must be >= 1");
+  ITASK_CHECK(o.scenes >= 1, "generate_schedule: scenes must be >= 1");
+  ITASK_CHECK(o.storm_period_us >= 0,
+              "generate_schedule: storm_period_us must be >= 0");
+  if (o.arrivals == ArrivalProcess::kBursty) {
+    ITASK_CHECK(o.burst_factor >= 1.0,
+                "generate_schedule: burst_factor must be >= 1");
+    ITASK_CHECK(o.burst_period_us >= 1,
+                "generate_schedule: burst_period_us must be >= 1");
+    ITASK_CHECK(o.burst_duty > 0.0 && o.burst_duty < 1.0,
+                "generate_schedule: burst_duty must be in (0, 1)");
+  }
+
+  const std::vector<double> cdf = zipf_cdf(o.tasks, o.zipf_s);
+  std::vector<GeneratedRequest> schedule;
+  schedule.reserve(static_cast<size_t>(o.requests));
+  double t_us = 0.0;
+  for (int64_t i = 0; i < o.requests; ++i) {
+    // Exponential inter-arrival at the CURRENT instantaneous rate — a
+    // thinning-free approximation that is exact for Poisson and, for
+    // bursty, re-reads the duty cycle each arrival (accurate as long as
+    // inter-arrivals are short against burst_period_us, the regime the
+    // bench runs in).
+    const double rate = rate_at(o, t_us);
+    t_us += -std::log(uniform_unit(rng)) * 1e6 / rate;
+
+    GeneratedRequest req;
+    req.arrival_us = static_cast<int64_t>(t_us);
+    // Mission-switch storm: the popularity RANK stays zipf, but which task
+    // holds each rank rotates every storm period — the fleet-wide "new
+    // hottest mission" event à la F4's task-switch sweeps.
+    const int64_t rotation =
+        o.storm_period_us > 0 ? req.arrival_us / o.storm_period_us : 0;
+    const int64_t rank = sample_rank(cdf, rng);
+    req.task_index = (rank + rotation) % o.tasks;
+    req.tenant = o.tenants > 1 ? rng.randint(0, o.tenants - 1) : 0;
+    req.scene = o.scenes > 1 ? rng.randint(0, o.scenes - 1) : 0;
+    schedule.push_back(req);
+  }
+  return schedule;
+}
+
+}  // namespace itask::runtime

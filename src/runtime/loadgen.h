@@ -1,0 +1,76 @@
+// Open-loop traffic generation for the serving fleet (bench F7).
+//
+// An open-loop generator decides every arrival time BEFORE the system
+// responds: requests land on their schedule whether or not earlier ones were
+// admitted, so rejections show up as lost goodput instead of silently
+// slowing the offered rate — the honest way to measure a serving system
+// under overload (a closed loop self-throttles and hides saturation).
+//
+// The schedule is a pure function of (LoadGenOptions, Rng seed): same inputs,
+// identical vector, on any platform the repo's Rng is deterministic on. Four
+// axes compose:
+//   arrivals   — Poisson (exponential inter-arrival at rate_rps) or bursty
+//                (the same process with its instantaneous rate modulated by
+//                an on/off duty cycle: rate*burst_factor during a burst,
+//                rate/burst_factor between bursts);
+//   popularity — zipf over `tasks` ranks (s = 0 degenerates to uniform), so
+//                a few hot missions dominate like real fleets;
+//   storms     — F4-style mission switches: every storm_period_us the
+//                rank→task mapping rotates by one, so the hottest task
+//                changes abruptly and routing/affinity gets re-shuffled;
+//   tenants    — uniform tenant assignment, the input to the fleet's
+//                per-tenant admission quotas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace itask::runtime {
+
+/// One synthetic request of an open-loop schedule. `task_index` is a
+/// popularity *rank-resolved* task in [0, tasks): the caller maps it onto
+/// real kg::TaskIds (and `scene` onto canned eval images).
+struct GeneratedRequest {
+  int64_t arrival_us = 0;  // offset from schedule start, non-decreasing
+  int64_t task_index = 0;  // in [0, LoadGenOptions::tasks)
+  int64_t tenant = 0;      // in [0, LoadGenOptions::tenants)
+  int64_t scene = 0;       // in [0, LoadGenOptions::scenes)
+};
+
+enum class ArrivalProcess { kPoisson, kBursty };
+
+const char* arrival_process_name(ArrivalProcess process);
+
+struct LoadGenOptions {
+  int64_t requests = 1024;
+  /// Mean offered rate (requests/s). For kBursty this is still the mean:
+  /// the duty cycle modulates around it.
+  double rate_rps = 1000.0;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Bursty shape: inside a burst the instantaneous rate is
+  /// rate_rps * burst_factor; outside it rate_rps / burst_factor.
+  double burst_factor = 4.0;
+  int64_t burst_period_us = 50'000;  // one on+off cycle
+  double burst_duty = 0.25;          // leading fraction of the cycle bursting
+
+  int64_t tasks = 1;
+  /// Zipf popularity exponent over task ranks (P(rank r) ∝ 1/(r+1)^s);
+  /// 0 = uniform.
+  double zipf_s = 1.0;
+  int64_t tenants = 1;
+  int64_t scenes = 1;
+
+  /// Mission-switch storm period (µs); every elapsed period rotates the
+  /// popularity-rank → task mapping by one. 0 disables storms.
+  int64_t storm_period_us = 0;
+};
+
+/// Generates the full open-loop schedule, sorted by arrival_us. Validates
+/// options via ITASK_CHECK; consumes `rng` (two generators with the same
+/// seed and options yield identical schedules).
+std::vector<GeneratedRequest> generate_schedule(const LoadGenOptions& options,
+                                                Rng& rng);
+
+}  // namespace itask::runtime

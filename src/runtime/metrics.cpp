@@ -87,6 +87,75 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+namespace {
+
+// Bucketed quantile over a merged bucket list — the same rule as
+// Histogram::quantile_locked: the upper bound of the bucket holding the
+// ceil(q*count)-th sample, clamped into the observed [min, max].
+double merged_quantile(const std::vector<Histogram::Bucket>& buckets, double q,
+                       int64_t count, double min_seen, double max_seen) {
+  const auto rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  int64_t seen = 0;
+  for (const Histogram::Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) return std::clamp(b.upper, min_seen, max_seen);
+  }
+  return max_seen;
+}
+
+}  // namespace
+
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts) {
+  std::map<std::string, int64_t> counters;
+  struct Acc {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::map<double, int64_t> buckets;  // upper bound → merged count
+  };
+  std::map<std::string, Acc> histograms;
+  for (const RegistrySnapshot& part : parts) {
+    for (const auto& [name, value] : part.counters) counters[name] += value;
+    for (const auto& [name, s] : part.histograms) {
+      Acc& acc = histograms[name];
+      if (s.count > 0) {
+        if (acc.count == 0 || s.min < acc.min) acc.min = s.min;
+        if (acc.count == 0 || s.max > acc.max) acc.max = s.max;
+      }
+      acc.count += s.count;
+      acc.sum += s.sum;
+      for (const Histogram::Bucket& b : s.buckets) acc.buckets[b.upper] += b.count;
+    }
+  }
+  RegistrySnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    out.counters.emplace_back(name, value);
+  }
+  out.histograms.reserve(histograms.size());
+  for (const auto& [name, acc] : histograms) {
+    Histogram::Snapshot s;
+    s.count = acc.count;
+    if (acc.count > 0) {
+      s.sum = acc.sum;
+      s.mean = acc.sum / static_cast<double>(acc.count);
+      s.min = acc.min;
+      s.max = acc.max;
+      s.buckets.reserve(acc.buckets.size());
+      for (const auto& [upper, count] : acc.buckets) {
+        s.buckets.push_back(Histogram::Bucket{upper, count});
+      }
+      s.p50 = merged_quantile(s.buckets, 0.50, s.count, s.min, s.max);
+      s.p95 = merged_quantile(s.buckets, 0.95, s.count, s.min, s.max);
+      s.p99 = merged_quantile(s.buckets, 0.99, s.count, s.min, s.max);
+    }
+    out.histograms.emplace_back(name, std::move(s));
+  }
+  return out;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];

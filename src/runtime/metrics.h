@@ -94,6 +94,16 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
 };
 
+/// Merges per-shard registry snapshots into one fleet-level view: counters
+/// with the same name sum; histograms with the same name merge bucket-wise
+/// (counts and sums add, min/max combine, p50/p95/p99 recomputed from the
+/// merged buckets exactly the way Histogram::snapshot computes them). All
+/// inputs must come from identically configured histograms — bucket upper
+/// bounds are matched exactly, which holds for the default geometry every
+/// runtime registry uses. The result feeds the same exposition formats as a
+/// single registry's snapshot (the fleet's merged Prometheus scrape).
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts);
+
 /// Named metrics for one server instance. counter()/histogram() create on
 /// first use and return stable references usable without further locking.
 class MetricsRegistry {

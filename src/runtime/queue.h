@@ -80,7 +80,15 @@ class BoundedQueue {
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     while (static_cast<int64_t>(batch.size()) < max_items) {
       if (size_ > 0) {
-        batch.push_back(std::move(slots_[static_cast<size_t>(head_)]));
+        T& slot = slots_[static_cast<size_t>(head_)];
+        batch.push_back(std::move(slot));
+        // Reset the popped slot immediately: a moved-from T is only "valid
+        // but unspecified" and may keep hold of whatever resources the move
+        // left behind (request image buffers, promise state), pinning up to
+        // `capacity` of them while the queue idles. Releasing here makes
+        // pop — not the next push that happens to land on this slot — the
+        // moment a request's resources die.
+        slot = T{};
         head_ = (head_ + 1) % capacity_;
         --size_;
         continue;
@@ -125,8 +133,9 @@ class BoundedQueue {
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   /// Fixed ring of default-constructed slots; [head_, head_+size_) mod
-  /// capacity_ are live. A popped slot keeps its moved-from shell (and any
-  /// capacity T hangs onto) until a later push overwrites it.
+  /// capacity_ are live. pop_batch resets a slot to T{} right after moving
+  /// it out, so a popped slot never pins the moved-from shell's resources
+  /// until a later push overwrites it (BoundedQueue.PopReleasesSlot…).
   std::vector<T> slots_;
   int64_t head_ = 0;
   int64_t size_ = 0;

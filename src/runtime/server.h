@@ -230,6 +230,12 @@ class InferenceServer {
     std::promise<InferenceResult> promise;
     int64_t admitted_us = 0;  // clock_us() at admission
     int64_t deadline_us = 0;  // absolute clock_us() deadline; 0 = none
+    /// Snapshot version try_submit validated this request against. The
+    /// serving worker may acquire a newer snapshot (install_snapshot raced
+    /// the queue); that skew is safe — task tables only grow — but no longer
+    /// silent: served-version != admitted_version counts snapshot_version_
+    /// skew, the fleet's staged-rollout observability signal.
+    int64_t admitted_version = 0;
   };
 
   void worker_loop(int64_t worker_index);
@@ -239,6 +245,18 @@ class InferenceServer {
   BoundedQueue<Pending> queue_;
   MetricsRegistry metrics_;
   StageRecorder stages_;
+  // Admission-path counters resolved once at construction: try_submit runs
+  // per request on client threads, so a string-keyed map lookup under the
+  // registry lock per increment was pure hot-path overhead. Names (and thus
+  // the exposition output) are unchanged; creating them eagerly also means
+  // a scrape before the first request sees every admission counter at 0.
+  Counter& requests_submitted_;
+  Counter& requests_invalid_;
+  Counter& rejected_queue_full_;
+  Counter& rejected_shutdown_;
+  Counter& snapshots_published_;
+  Counter& tasks_onboarded_;
+  Counter& snapshot_version_skew_;
   std::atomic<int64_t> next_id_{0};
   // The current snapshot, guarded by a mutex rather than an atomic
   // shared_ptr: acquisition is once per micro-batch (not per request), so

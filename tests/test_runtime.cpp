@@ -24,6 +24,8 @@
 #include "core/itask.h"
 #include "runtime/clock.h"
 #include "runtime/exposition.h"
+#include "runtime/fleet.h"
+#include "runtime/loadgen.h"
 #include "runtime/metrics.h"
 #include "runtime/queue.h"
 #include "runtime/server.h"
@@ -214,6 +216,52 @@ TEST(BoundedQueue, ValidatesArguments) {
   EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
   BoundedQueue<int> q(1);
   EXPECT_THROW(q.pop_batch(0, kNoWait), std::invalid_argument);
+}
+
+namespace {
+
+// Models the worst legal moved-from state: a payload whose move keeps the
+// shared buffer (the standard only promises "valid but unspecified"). The
+// queue must not rely on T's move releasing anything — it has to reset the
+// slot itself.
+struct StickyPayload {
+  std::shared_ptr<int> buffer;
+
+  StickyPayload() = default;
+  explicit StickyPayload(int v) : buffer(std::make_shared<int>(v)) {}
+  StickyPayload(const StickyPayload&) = default;
+  StickyPayload& operator=(const StickyPayload&) = default;
+  StickyPayload(StickyPayload&& other) noexcept : buffer(other.buffer) {}
+  StickyPayload& operator=(StickyPayload&& other) noexcept {
+    buffer = other.buffer;  // deliberately keeps the source's reference
+    return *this;
+  }
+};
+
+}  // namespace
+
+TEST(BoundedQueue, PopReleasesSlotResourcesAtPopNotNextPush) {
+  // The ring-slot pinning bug: pop_batch used to move a slot out and leave
+  // the moved-from shell in the ring, so whatever it still referenced (for
+  // the runtime: a request's image Tensor and promise state) stayed alive
+  // until a LATER push happened to overwrite that slot — up to `capacity`
+  // requests pinned while the queue idles. The fix resets the slot at pop.
+  BoundedQueue<StickyPayload> q(4);
+  StickyPayload item(7);
+  std::weak_ptr<int> observer = item.buffer;
+  ASSERT_TRUE(q.try_push(std::move(item)));
+  item.buffer.reset();  // drop the producer's (sticky-move) reference
+  EXPECT_EQ(observer.use_count(), 1);  // only the ring slot holds it
+
+  auto batch = q.pop_batch(4, kNoWait);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_EQ(*batch[0].buffer, 7);
+  // Released at pop: the popped element must be the SOLE owner now — no
+  // moved-from shell left in the ring still referencing the buffer.
+  EXPECT_EQ(observer.use_count(), 1);
+  batch.clear();
+  EXPECT_TRUE(observer.expired())
+      << "the queue kept a request's buffer alive after it was popped";
 }
 
 // -------------------------------------------------------------- metrics ----
@@ -1562,6 +1610,729 @@ TEST_F(RuntimeServing, ArenaPlanWorkspaceMeasuresMonotoneCapacity) {
   EXPECT_GE(four, one);  // bigger micro-batches need at least as much
   EXPECT_EQ(one % Arena::kAlign, 0);  // rounded bump accounting
   EXPECT_THROW((*snap_)->plan_workspace(0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- metrics merge ----
+
+TEST(Metrics, MergeSnapshotsSumsCountersAndMergesHistogramBuckets) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("x").increment(3);
+  b.counter("x").increment(4);
+  b.counter("y").increment(1);
+  for (const double v : {10.0, 20.0, 30.0}) a.histogram("lat").record(v);
+  for (const double v : {1000.0, 2000.0}) b.histogram("lat").record(v);
+  b.histogram("only_b").record(5.0);
+
+  const RegistrySnapshot merged = merge_snapshots({a.snapshot(), b.snapshot()});
+  const auto counter = [&merged](const char* name) -> int64_t {
+    for (const auto& [n, v] : merged.counters) {
+      if (n == name) return v;
+    }
+    return -1;
+  };
+  EXPECT_EQ(counter("x"), 7);
+  EXPECT_EQ(counter("y"), 1);
+
+  const auto histogram =
+      [&merged](const char* name) -> Histogram::Snapshot {
+    for (const auto& [n, s] : merged.histograms) {
+      if (n == name) return s;
+    }
+    return {};
+  };
+  const Histogram::Snapshot lat = histogram("lat");
+  EXPECT_EQ(lat.count, 5);
+  EXPECT_DOUBLE_EQ(lat.sum, 3060.0);
+  EXPECT_DOUBLE_EQ(lat.mean, 612.0);
+  EXPECT_DOUBLE_EQ(lat.min, 10.0);
+  EXPECT_DOUBLE_EQ(lat.max, 2000.0);
+  int64_t bucketed = 0;
+  double prev_upper = 0.0;
+  for (const Histogram::Bucket& bucket : lat.buckets) {
+    EXPECT_GT(bucket.upper, prev_upper);  // ascending, deduplicated
+    prev_upper = bucket.upper;
+    bucketed += bucket.count;
+  }
+  EXPECT_EQ(bucketed, lat.count);
+  // p50 is the 3rd of {10,20,30,1000,2000}: the 30-bucket's upper bound
+  // (growth 1.25 → within 25% above 30), never a value from one part only.
+  EXPECT_GE(lat.p50, 30.0);
+  EXPECT_LE(lat.p50, 40.0);
+  EXPECT_DOUBLE_EQ(lat.p99, 2000.0);  // clamped into the observed range
+  EXPECT_EQ(histogram("only_b").count, 1);
+}
+
+TEST(Metrics, MergeSnapshotsOfOnePartIsIdentity) {
+  MetricsRegistry m;
+  m.counter("c").increment(9);
+  for (int i = 1; i <= 100; ++i) m.histogram("h").record(static_cast<double>(i));
+  const RegistrySnapshot original = m.snapshot();
+  const RegistrySnapshot merged = merge_snapshots({original});
+  ASSERT_EQ(merged.counters.size(), original.counters.size());
+  EXPECT_EQ(merged.counters[0], original.counters[0]);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const Histogram::Snapshot& got = merged.histograms[0].second;
+  const Histogram::Snapshot& want = original.histograms[0].second;
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  // Same buckets in → same bucketed quantiles out (identical rule).
+  EXPECT_DOUBLE_EQ(got.p50, want.p50);
+  EXPECT_DOUBLE_EQ(got.p95, want.p95);
+  EXPECT_DOUBLE_EQ(got.p99, want.p99);
+  ASSERT_EQ(got.buckets.size(), want.buckets.size());
+
+  const RegistrySnapshot empty = merge_snapshots({});
+  EXPECT_TRUE(empty.counters.empty());
+  EXPECT_TRUE(empty.histograms.empty());
+}
+
+// -------------------------------------------------------------- load gen ----
+
+TEST(LoadGen, SameSeedAndOptionsYieldIdenticalSchedules) {
+  LoadGenOptions o;
+  o.requests = 256;
+  o.rate_rps = 2000.0;
+  o.tasks = 4;
+  o.tenants = 3;
+  o.scenes = 8;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const auto a = generate_schedule(o, rng_a);
+  const auto b = generate_schedule(o, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  int64_t prev_arrival = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].task_index, b[i].task_index);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].scene, b[i].scene);
+    EXPECT_GE(a[i].arrival_us, prev_arrival);  // open loop: non-decreasing
+    prev_arrival = a[i].arrival_us;
+    EXPECT_GE(a[i].task_index, 0);
+    EXPECT_LT(a[i].task_index, o.tasks);
+    EXPECT_GE(a[i].tenant, 0);
+    EXPECT_LT(a[i].tenant, o.tenants);
+    EXPECT_GE(a[i].scene, 0);
+    EXPECT_LT(a[i].scene, o.scenes);
+  }
+  // A different seed moves the schedule.
+  Rng rng_c(100);
+  const auto c = generate_schedule(o, rng_c);
+  EXPECT_NE(c.back().arrival_us, a.back().arrival_us);
+}
+
+TEST(LoadGen, PoissonArrivalsMatchTheTargetRate) {
+  LoadGenOptions o;
+  o.requests = 2000;
+  o.rate_rps = 1000.0;  // expected span: 2,000,000 us
+  Rng rng(7);
+  const auto schedule = generate_schedule(o, rng);
+  const int64_t span = schedule.back().arrival_us;
+  EXPECT_GT(span, 1'600'000);
+  EXPECT_LT(span, 2'400'000);
+}
+
+TEST(LoadGen, ZipfPopularityConcentratesOnHotTasksUniformWhenZero) {
+  LoadGenOptions o;
+  o.requests = 4000;
+  o.rate_rps = 10000.0;
+  o.tasks = 8;
+  o.zipf_s = 1.2;
+  Rng rng(11);
+  std::vector<int64_t> counts(8, 0);
+  for (const GeneratedRequest& r : generate_schedule(o, rng)) {
+    ++counts[static_cast<size_t>(r.task_index)];
+  }
+  // Rank 0 dominates and the tail is thin (s = 1.2 puts ~43% on rank 0).
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(), 0);
+  EXPECT_GT(counts[0], 4 * counts[7]);
+
+  o.zipf_s = 0.0;  // degenerates to uniform
+  Rng uniform_rng(11);
+  std::vector<int64_t> flat(8, 0);
+  for (const GeneratedRequest& r : generate_schedule(o, uniform_rng)) {
+    ++flat[static_cast<size_t>(r.task_index)];
+  }
+  const int64_t lo = *std::min_element(flat.begin(), flat.end());
+  const int64_t hi = *std::max_element(flat.begin(), flat.end());
+  EXPECT_LT(hi, 2 * lo);
+}
+
+TEST(LoadGen, MissionSwitchStormsRotateTheHotTask) {
+  LoadGenOptions o;
+  o.requests = 4000;
+  o.rate_rps = 2000.0;       // span ≈ 2s
+  o.tasks = 4;
+  o.zipf_s = 1.5;
+  o.storm_period_us = 500'000;  // ≈ 4 storm windows
+  Rng rng(13);
+  std::map<int64_t, std::vector<int64_t>> window_counts;  // window → per-task
+  for (const GeneratedRequest& r : generate_schedule(o, rng)) {
+    auto& counts = window_counts[r.arrival_us / o.storm_period_us];
+    if (counts.empty()) counts.assign(4, 0);
+    ++counts[static_cast<size_t>(r.task_index)];
+  }
+  ASSERT_GE(window_counts.size(), 3u);
+  int64_t evaluated = 0;
+  for (const auto& [window, counts] : window_counts) {
+    const int64_t total =
+        counts[0] + counts[1] + counts[2] + counts[3];
+    if (total < 200) continue;  // the last window may be a sliver
+    // Rank 0 rotates: the hottest task in window w is task (w mod tasks).
+    const auto hottest =
+        std::max_element(counts.begin(), counts.end()) - counts.begin();
+    EXPECT_EQ(hottest, window % 4) << "window " << window;
+    ++evaluated;
+  }
+  EXPECT_GE(evaluated, 3);
+}
+
+TEST(LoadGen, BurstyArrivalsClusterInsideTheBurstPhase) {
+  LoadGenOptions o;
+  o.requests = 4000;
+  o.rate_rps = 1000.0;
+  o.arrivals = ArrivalProcess::kBursty;
+  o.burst_factor = 4.0;
+  o.burst_period_us = 100'000;
+  o.burst_duty = 0.25;
+  const auto burst_fraction = [&o](const std::vector<GeneratedRequest>& s) {
+    int64_t in_burst = 0;
+    for (const GeneratedRequest& r : s) {
+      const int64_t phase = r.arrival_us % o.burst_period_us;
+      if (static_cast<double>(phase) <
+          o.burst_duty * static_cast<double>(o.burst_period_us)) {
+        ++in_burst;
+      }
+    }
+    return static_cast<double>(in_burst) / static_cast<double>(s.size());
+  };
+  Rng bursty_rng(17);
+  const double bursty = burst_fraction(generate_schedule(o, bursty_rng));
+  o.arrivals = ArrivalProcess::kPoisson;
+  Rng poisson_rng(17);
+  const double poisson = burst_fraction(generate_schedule(o, poisson_rng));
+  // 4× on / 0.25 duty puts ~84% of arrivals in the burst quarter of each
+  // cycle; a Poisson stream spreads ~25% there.
+  EXPECT_GT(bursty, 0.6);
+  EXPECT_LT(poisson, 0.4);
+  EXPECT_EQ(arrival_process_name(ArrivalProcess::kBursty),
+            std::string("bursty"));
+  EXPECT_EQ(arrival_process_name(ArrivalProcess::kPoisson),
+            std::string("poisson"));
+}
+
+TEST(LoadGen, ValidatesArguments) {
+  Rng rng(1);
+  LoadGenOptions o;
+  o.requests = 0;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+  o = {};
+  o.rate_rps = 0.0;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+  o = {};
+  o.tasks = 0;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+  o = {};
+  o.zipf_s = -0.5;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+  o = {};
+  o.arrivals = ArrivalProcess::kBursty;
+  o.burst_duty = 1.0;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+  o = {};
+  o.arrivals = ArrivalProcess::kBursty;
+  o.burst_factor = 0.5;
+  EXPECT_THROW(generate_schedule(o, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- fleet router ----
+
+TEST(FleetRouter, RendezvousPlacementIsDeterministicAndCoversAllShards) {
+  const FleetRouter router(4, 2);
+  EXPECT_EQ(router.shards(), 4);
+  EXPECT_EQ(router.replication(), 2);
+  std::vector<int64_t> primary_load(4, 0);
+  for (int64_t t = 0; t < 64; ++t) {
+    const kg::TaskId id{t};
+    const std::vector<int64_t> replicas = router.replicas(id);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);  // distinct shards
+    for (const int64_t s : replicas) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 4);
+    }
+    // Placement is a pure function of (task, geometry): stable across calls
+    // and across router instances.
+    EXPECT_EQ(router.replicas(id), replicas);
+    EXPECT_EQ(FleetRouter(4, 2).replicas(id), replicas);
+    ++primary_load[static_cast<size_t>(replicas[0])];
+  }
+  // Rendezvous balance: every shard is primary for some tasks.
+  for (int64_t s = 0; s < 4; ++s) {
+    EXPECT_GT(primary_load[static_cast<size_t>(s)], 0) << "shard " << s;
+  }
+}
+
+TEST(FleetRouter, RouteCyclesDeterministicallyThroughReplicaSlots) {
+  const FleetRouter router(4, 2);
+  const kg::TaskId id{11};
+  const std::vector<int64_t> replicas = router.replicas(id);
+  EXPECT_EQ(router.route(id, 0), replicas[0]);
+  EXPECT_EQ(router.route(id, 1), replicas[1]);
+  EXPECT_EQ(router.route(id, 2), replicas[0]);  // period == replication
+  const FleetRouter single(4, 1);
+  EXPECT_EQ(single.route(id, 0), single.route(id, 7));  // strict affinity
+}
+
+TEST(FleetRouter, GrowingTheFleetOnlyMovesTasksOntoTheNewShard) {
+  // The rendezvous property that makes resharding cheap: adding shard N
+  // never moves a task between the existing shards — a task either keeps
+  // its primary or rendezvouses onto the new shard.
+  const FleetRouter before(4, 1);
+  const FleetRouter after(5, 1);
+  int64_t moved = 0;
+  for (int64_t t = 0; t < 128; ++t) {
+    const kg::TaskId id{t};
+    const int64_t old_primary = before.replicas(id)[0];
+    const int64_t new_primary = after.replicas(id)[0];
+    if (new_primary != old_primary) {
+      EXPECT_EQ(new_primary, 4) << task_id_to_string(id);
+      ++moved;
+    }
+  }
+  // ~1/5 of tasks should rendezvous onto the new shard — movement happens,
+  // but never between survivors.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 64);
+}
+
+TEST(FleetRouter, ValidatesAndClamps) {
+  EXPECT_THROW(FleetRouter(0, 1), std::invalid_argument);
+  EXPECT_THROW(FleetRouter(2, 0), std::invalid_argument);
+  EXPECT_EQ(FleetRouter(2, 8).replication(), 2);  // clamped to shards
+  const FleetRouter router(2, 1);
+  EXPECT_THROW(router.route(kg::TaskId{1}, -1), std::invalid_argument);
+  EXPECT_THROW(kg::task_route_hash(kg::TaskId{}, 0), std::invalid_argument);
+  // Distinct salts decorrelate: one task does not hash identically across
+  // shard salts (the property rendezvous ranking rests on).
+  EXPECT_NE(kg::task_route_hash(kg::TaskId{3}, 0),
+            kg::task_route_hash(kg::TaskId{3}, 1));
+}
+
+// ------------------------------------------------------------- fleet ----
+// The sharded serving tier. These suites (plus FleetRouter/LoadGen above)
+// run first under TSan in CI — filters `RuntimeServing.Fleet*` etc.
+
+TEST_F(RuntimeServing, AdmissionCountersCachedWithStableExposition) {
+  // The hot-path counters are resolved once at construction now; the
+  // exposition output must be unchanged in names and values — and every
+  // admission counter (including the new snapshot_version_skew) visible
+  // from the very first scrape, before any traffic touches it.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  InferenceServer server(fw_->publish(), opts);
+  const std::string cold = to_prometheus(collect(server.metrics()));
+  for (const char* line :
+       {"itask_requests_submitted 0", "itask_requests_invalid 0",
+        "itask_rejected_queue_full 0", "itask_rejected_shutdown 0",
+        "itask_snapshot_version_skew 0", "itask_snapshots_published 1",
+        "itask_tasks_onboarded 0"}) {
+    EXPECT_NE(cold.find(line), std::string::npos) << line;
+  }
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int64_t i = 0; i < 4; ++i) {
+    auto f = server.try_submit(eval_->scene(i).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.admitted());
+    futures.push_back(std::move(*f.future));
+  }
+  EXPECT_THROW(server.try_submit(eval_->scene(0).image, kg::TaskId{999999},
+                                 ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+  for (auto& f : futures) f.get();
+  server.shutdown();
+  auto rejected = server.try_submit(eval_->scene(0).image, *task_,
+                                    ConfigKind::kQuantizedMultiTask);
+  EXPECT_EQ(rejected.reject, RejectReason::kShuttingDown);
+
+  const std::string warm = to_prometheus(collect(server.metrics()));
+  for (const char* line :
+       {"itask_requests_submitted 4", "itask_requests_invalid 1",
+        "itask_rejected_queue_full 0", "itask_rejected_shutdown 1",
+        "itask_requests_completed 4", "itask_snapshot_version_skew 0"}) {
+    EXPECT_NE(warm.find(line), std::string::npos) << line;
+  }
+}
+
+TEST_F(RuntimeServing, SnapshotVersionSkewCountedWhenInstallRacesQueue) {
+  // try_submit validates against the snapshot current at admission; the
+  // worker may acquire a newer one. Stall the worker inside request 0's
+  // inference, admit request 1, install a newer snapshot, release: request
+  // 1 is served under the new version but was admitted under the old — one
+  // counted skew, zero failures (tables only grow, weights identical).
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int64_t> groups_seen{0};
+  opts.fault_injector = [&gate, &groups_seen](const FaultSite&) {
+    if (groups_seen.fetch_add(1) == 0) gate.wait();  // stall first group only
+  };
+  const auto before = fw_->publish();
+  InferenceServer server(before, opts);
+
+  auto f0 = server.try_submit(eval_->scene(0).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f0.admitted());
+  while (groups_seen.load() == 0) std::this_thread::yield();
+  // Worker is now mid-batch holding `before`; admit under `before`, then
+  // install the newer snapshot before the worker can pick request 1 up.
+  auto f1 = server.try_submit(eval_->scene(1).image, *task_,
+                              ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(f1.admitted());
+  server.install_snapshot(fw_->publish());
+  release.set_value();
+
+  const InferenceResult r0 = f0.future->get();
+  const InferenceResult r1 = f1.future->get();
+  EXPECT_EQ(r0.snapshot_version, before->version());
+  EXPECT_EQ(r1.snapshot_version, before->version() + 1);
+  server.shutdown();
+  EXPECT_EQ(server.metrics().counter("snapshot_version_skew").value(), 1);
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 0);
+  // Results stay element-wise identical whichever version served them.
+  expect_same_detections(r1.detections,
+                         fw_->detect(eval_->scene(1).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+}
+
+TEST_F(RuntimeServing, FleetDetectionsIdenticalToSerialAtAnyShardCount) {
+  // The fleet-level determinism contract: the same request set produces
+  // detections element-wise identical to the serial pipeline at every
+  // shard count and replication — routing and sharding never change a bit.
+  const auto snapshot = fw_->publish();
+  for (const int64_t shards : {int64_t{1}, int64_t{2}, int64_t{3}}) {
+    FleetOptions fo;
+    fo.shards = shards;
+    fo.replication = 2;  // clamped to 1 when shards == 1
+    fo.shard_options.workers = 2;
+    fo.shard_options.max_batch = 4;
+    fo.shard_options.max_wait_us = 300;
+    InferenceFleet fleet(snapshot, fo);
+    const std::vector<int64_t> replicas = fleet.router().replicas(task_->id);
+
+    const auto config_of = [](int64_t i) {
+      return (i % 2 == 0) ? ConfigKind::kTaskSpecific
+                          : ConfigKind::kQuantizedMultiTask;
+    };
+    std::vector<std::future<InferenceResult>> futures;
+    for (int64_t i = 0; i < eval_->size(); ++i) {
+      FleetSubmitResult r = fleet.try_submit(eval_->scene(i).image, task_->id,
+                                             config_of(i), /*tenant=*/0);
+      ASSERT_TRUE(r.admitted());
+      // Routed within the task's replica set, never sprayed elsewhere.
+      EXPECT_NE(std::find(replicas.begin(), replicas.end(), r.shard),
+                replicas.end());
+      futures.push_back(std::move(*r.future));
+    }
+    fleet.shutdown();
+    for (int64_t i = 0; i < eval_->size(); ++i) {
+      const InferenceResult r = futures[static_cast<size_t>(i)].get();
+      expect_same_detections(
+          r.detections,
+          fw_->detect(eval_->scene(i).image, *task_, config_of(i)));
+    }
+    // Single-task traffic with replication 2 spreads across exactly the
+    // replica set (round-robin rotation), nothing else.
+    int64_t shard_submitted = 0;
+    for (const int64_t s : replicas) {
+      shard_submitted +=
+          fleet.shard(s).metrics().counter("requests_submitted").value();
+    }
+    EXPECT_EQ(shard_submitted, eval_->size());
+    EXPECT_EQ(fleet.metrics().counter("fleet_admitted").value(),
+              eval_->size());
+  }
+}
+
+TEST_F(RuntimeServing, FleetQuotaRejectionAccountingAndWindowReset) {
+  FleetOptions fo;
+  fo.shards = 2;
+  fo.tenant_quota = 3;
+  fo.quota_window = 8;
+  fo.shard_options.workers = 1;
+  InferenceFleet fleet(fw_->publish(), fo);
+  std::vector<std::future<InferenceResult>> futures;
+  const auto submit = [&](int64_t tenant) {
+    FleetSubmitResult r =
+        fleet.try_submit(eval_->scene(0).image, task_->id,
+                         ConfigKind::kQuantizedMultiTask, tenant);
+    if (r.admitted()) futures.push_back(std::move(*r.future));
+    return r.reject;
+  };
+  // Tenant 7 saturates its quota: 3 admitted, then kTenantQuota.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(submit(7), FleetReject::kNone);
+  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
+  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
+  EXPECT_EQ(fleet.tenant_window_admissions(7), 3);
+  // Fairness: a light tenant keeps landing while 7 is capped.
+  EXPECT_EQ(submit(8), FleetReject::kNone);
+  EXPECT_EQ(fleet.tenant_window_admissions(8), 1);
+  // Attempts so far: 6. Two more rejected attempts fill the window of 8;
+  // the next attempt rolls it and tenant 7's fairness counter resets.
+  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
+  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
+  EXPECT_EQ(submit(7), FleetReject::kNone);  // fresh window
+  EXPECT_EQ(fleet.tenant_window_admissions(7), 1);
+
+  EXPECT_EQ(fleet.metrics().counter("fleet_quota_rejected").value(), 4);
+  EXPECT_EQ(fleet.metrics().counter("fleet_admitted").value(), 5);
+  EXPECT_EQ(fleet.metrics().counter("fleet_submitted").value(), 9);
+  EXPECT_EQ(fleet.metrics().counter("fleet_fairness_window_resets").value(),
+            1);
+  fleet.shutdown();
+  for (auto& f : futures) f.get();  // every admitted request completed
+  // Quota rejections never reached a shard: per-shard admission counts add
+  // up to exactly the fleet's admissions.
+  EXPECT_EQ(fleet.shard(0).metrics().counter("requests_submitted").value() +
+                fleet.shard(1).metrics().counter("requests_submitted").value(),
+            5);
+}
+
+TEST_F(RuntimeServing, FleetStagedRolloutFailureRollsBackAndResumes) {
+  const auto v1 = fw_->publish();
+  FleetOptions fo;
+  fo.shards = 3;
+  fo.shard_options.workers = 1;
+  std::atomic<int64_t> injected{0};
+  fo.rollout_hook = [&injected](int64_t shard, int64_t /*version*/) {
+    // Fail exactly the first attempt to install on shard 1.
+    if (shard == 1 && injected.fetch_add(1) == 0) {
+      throw std::runtime_error("injected mid-rollout shard failure");
+    }
+  };
+  InferenceFleet fleet(v1, fo);
+
+  const TaskHandle fresh = fw_->define_task(data::task_by_id(5));
+  const auto v2 = fw_->publish();
+  const RolloutResult first = fleet.install_snapshot(v2);
+  EXPECT_FALSE(first.complete());
+  EXPECT_EQ(first.version, v2->version());
+  EXPECT_EQ(first.failed_shard, 1);
+  EXPECT_EQ(first.installed, 1);  // shard 0 took it before the failure
+  EXPECT_NE(first.error.find("injected"), std::string::npos);
+  // The rollback state: mixed versions, shard 0 new, shards 1-2 old.
+  EXPECT_EQ(fleet.shard_versions(),
+            (std::vector<int64_t>{v2->version(), v1->version(),
+                                  v1->version()}));
+
+  // Mixed versions keep serving the old task everywhere (skew tolerance).
+  FleetSubmitResult old_task = fleet.try_submit(
+      eval_->scene(0).image, task_->id, ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(old_task.admitted());
+  expect_same_detections(old_task.future->get().detections,
+                         fw_->detect(eval_->scene(0).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+  // The new task routes only to replicas that already took v2: servable iff
+  // its (replication 1) primary is shard 0, a deterministic router fact.
+  const int64_t fresh_primary = fleet.router().replicas(fresh.id)[0];
+  if (fresh_primary == 0) {
+    FleetSubmitResult r = fleet.try_submit(eval_->scene(0).image, fresh.id,
+                                           ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(r.admitted());
+    r.future->get();
+  } else {
+    EXPECT_THROW(fleet.try_submit(eval_->scene(0).image, fresh.id,
+                                  ConfigKind::kQuantizedMultiTask),
+                 std::invalid_argument);
+  }
+
+  // Retrying the same snapshot resumes at the failed shard (shard 0 is
+  // already current and skipped) and completes the rollout.
+  const RolloutResult second = fleet.install_snapshot(v2);
+  EXPECT_TRUE(second.complete());
+  EXPECT_EQ(second.already_current, 1);
+  EXPECT_EQ(second.installed, 2);
+  EXPECT_EQ(fleet.shard_versions(),
+            (std::vector<int64_t>{v2->version(), v2->version(),
+                                  v2->version()}));
+  FleetSubmitResult now_servable = fleet.try_submit(
+      eval_->scene(1).image, fresh.id, ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(now_servable.admitted());
+  expect_same_detections(now_servable.future->get().detections,
+                         fw_->detect(eval_->scene(1).image, fresh,
+                                     ConfigKind::kQuantizedMultiTask));
+
+  EXPECT_EQ(fleet.metrics().counter("fleet_rollouts_started").value(), 2);
+  EXPECT_EQ(fleet.metrics().counter("fleet_rollouts_failed").value(), 1);
+  EXPECT_EQ(fleet.metrics().counter("fleet_rollouts_completed").value(), 1);
+  EXPECT_EQ(fleet.metrics().counter("fleet_shard_installs").value(), 3);
+
+  // The skew-tolerance contract gate: a snapshot that DROPS a served task
+  // is refused before any shard changes (task tables only grow).
+  const auto stripped = std::make_shared<const core::DeploymentSnapshot>(
+      v2->version() + 100, v2->expected_input_shape(), kg::TaskTable{},
+      std::map<kg::TaskId, std::shared_ptr<const vit::VitModel>>{}, nullptr,
+      core::DetectionPipeline{});
+  EXPECT_THROW(fleet.install_snapshot(stripped), std::invalid_argument);
+  EXPECT_THROW(fleet.install_snapshot(nullptr), std::invalid_argument);
+  EXPECT_EQ(fleet.shard_versions(),
+            (std::vector<int64_t>{v2->version(), v2->version(),
+                                  v2->version()}));
+}
+
+TEST_F(RuntimeServing, FleetServesIdenticallyThroughStagedRollout) {
+  // The fleet twin of LiveOnboardingServesThroughPublishes: one thread
+  // streams mixed-config requests while this thread runs a staged rollout
+  // (slowed per shard to widen the mixed-version window). Every streamed
+  // result must be element-wise identical to the serial path whatever
+  // version/shard served it, with zero failures — determinism at any
+  // rollout interleaving. Run under -DITASK_SANITIZE=thread.
+  FleetOptions fo;
+  fo.shards = 2;
+  fo.shard_options.workers = 2;
+  fo.shard_options.max_batch = 4;
+  fo.shard_options.max_wait_us = 300;
+  fo.shard_options.queue_capacity = 128;
+  fo.rollout_hook = [](int64_t /*shard*/, int64_t /*version*/) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  };
+  InferenceFleet fleet(fw_->publish(), fo);
+
+  struct Streamed {
+    std::future<InferenceResult> future;
+    int64_t scene = 0;
+    ConfigKind config = ConfigKind::kQuantizedMultiTask;
+  };
+  std::vector<Streamed> streamed;
+  std::atomic<bool> stop{false};
+  std::thread streamer([&] {
+    Rng rng(777);
+    while (!stop.load()) {
+      const int64_t scene = rng.randint(0, eval_->size() - 1);
+      const ConfigKind config = rng.bernoulli(0.5)
+                                    ? ConfigKind::kTaskSpecific
+                                    : ConfigKind::kQuantizedMultiTask;
+      FleetSubmitResult r =
+          fleet.try_submit(eval_->scene(scene).image, task_->id, config);
+      if (r.admitted()) {
+        streamed.push_back(Streamed{std::move(*r.future), scene, config});
+      } else {
+        EXPECT_EQ(r.reject, FleetReject::kQueueFull);
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  const TaskHandle stormed =
+      fw_->define_task_from_text("find bright markers during the rollout");
+  const auto next = fw_->publish();
+  const RolloutResult rollout = fleet.install_snapshot(next);
+  EXPECT_TRUE(rollout.complete());
+  EXPECT_EQ(rollout.installed, 2);
+  stop.store(true);
+  streamer.join();
+  fleet.shutdown();
+
+  EXPECT_EQ(fleet.shard_versions(),
+            (std::vector<int64_t>{next->version(), next->version()}));
+  EXPECT_TRUE(
+      fleet.shard(0).current_snapshot()->has_task(stormed.id));
+  for (Streamed& s : streamed) {
+    const InferenceResult r = s.future.get();
+    expect_same_detections(
+        r.detections, fw_->detect(eval_->scene(s.scene).image, *task_,
+                                  s.config));
+  }
+  EXPECT_GT(streamed.size(), 0u);
+  for (const int64_t s : {int64_t{0}, int64_t{1}}) {
+    EXPECT_EQ(fleet.shard(s).metrics().counter("requests_failed").value(), 0);
+    EXPECT_EQ(fleet.shard(s).metrics().counter("requests_invalid").value(),
+              0);
+  }
+  EXPECT_EQ(fleet.metrics().counter("fleet_requests_invalid").value(), 0);
+}
+
+TEST_F(RuntimeServing, FleetMergedScrapeAggregatesShardAndFleetRegistries) {
+  FleetOptions fo;
+  fo.shards = 2;
+  fo.shard_options.workers = 1;
+  InferenceFleet fleet(fw_->publish(), fo);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int64_t i = 0; i < 8; ++i) {
+    FleetSubmitResult r = fleet.try_submit(
+        eval_->scene(i).image, task_->id, ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(r.admitted());
+    futures.push_back(std::move(*r.future));
+  }
+  for (auto& f : futures) f.get();
+  fleet.shutdown();
+
+  const RegistrySnapshot merged = fleet.merged_metrics();
+  const auto counter = [&merged](const char* name) -> int64_t {
+    for (const auto& [n, v] : merged.counters) {
+      if (n == name) return v;
+    }
+    return -1;
+  };
+  // Shard registries summed…
+  EXPECT_EQ(counter("requests_completed"), 8);
+  EXPECT_EQ(counter("requests_submitted"), 8);
+  EXPECT_EQ(counter("snapshots_published"), 2);  // one per shard
+  // …and the fleet's own counters ride in the same scrape.
+  EXPECT_EQ(counter("fleet_admitted"), 8);
+  EXPECT_EQ(counter("fleet_submitted"), 8);
+  const auto histogram =
+      [&merged](const char* name) -> Histogram::Snapshot {
+    for (const auto& [n, s] : merged.histograms) {
+      if (n == name) return s;
+    }
+    return {};
+  };
+  EXPECT_EQ(histogram("total_us").count, 8);  // across both shards
+
+  // The merged snapshot renders through the existing exposition unchanged —
+  // one Prometheus scrape for the whole fleet.
+  const std::string text = to_prometheus(ExpositionData{merged, {}});
+  EXPECT_NE(text.find("itask_requests_completed 8"), std::string::npos);
+  EXPECT_NE(text.find("itask_fleet_admitted 8"), std::string::npos);
+  EXPECT_NE(text.find("itask_total_us_count 8"), std::string::npos);
+}
+
+TEST_F(RuntimeServing, FleetValidatesOptionsAndShardAccess) {
+  const auto snapshot = fw_->publish();
+  FleetOptions fo;
+  fo.shards = 0;
+  EXPECT_THROW(InferenceFleet(snapshot, fo), std::invalid_argument);
+  fo = {};
+  fo.tenant_quota = -1;
+  EXPECT_THROW(InferenceFleet(snapshot, fo), std::invalid_argument);
+  fo = {};
+  fo.quota_window = 0;
+  EXPECT_THROW(InferenceFleet(snapshot, fo), std::invalid_argument);
+  fo = {};
+  EXPECT_THROW(InferenceFleet(nullptr, fo), std::invalid_argument);
+
+  fo = {};
+  fo.shards = 2;
+  fo.shard_options.workers = 1;
+  InferenceFleet fleet(snapshot, fo);
+  EXPECT_THROW(fleet.shard(-1), std::invalid_argument);
+  EXPECT_THROW(fleet.shard(2), std::invalid_argument);
+  fleet.shutdown();  // idempotent, and admission reports shutdown after
+  fleet.shutdown();
+  const FleetSubmitResult r = fleet.try_submit(
+      eval_->scene(0).image, task_->id, ConfigKind::kQuantizedMultiTask);
+  EXPECT_FALSE(r.admitted());
+  EXPECT_EQ(r.reject, FleetReject::kShuttingDown);
+  EXPECT_EQ(fleet_reject_name(FleetReject::kTenantQuota),
+            std::string("tenant_quota"));
 }
 
 }  // namespace
