@@ -21,6 +21,19 @@ data::Dataset with_noise(const data::Dataset& eval, float sigma,
   return data::Dataset(std::move(scenes));
 }
 
+/// Returns a copy of `eval` with seeded partial occlusion (F8's corruption
+/// family) — structured cue destruction, versus the unstructured pixel
+/// noise above. Ground truth is untouched in both.
+data::Dataset with_occlusion(const data::Dataset& eval, float severity,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Scene> scenes = eval.scenes();
+  data::OcclusionOptions occ;
+  occ.severity = severity;
+  for (data::Scene& scene : scenes) data::apply_occlusion(scene, occ, rng);
+  return data::Dataset(std::move(scenes));
+}
+
 }  // namespace
 
 int main() {
@@ -50,11 +63,30 @@ int main() {
         fw.evaluate(noisy, task, core::ConfigKind::kQuantizedMultiTask);
     std::printf("%8.2f | %16.3f | %16.3f\n", sigma, ts.f1, q.f1);
   }
+
+  std::printf("\npartial occlusion (structured corruption; F8 studies the "
+              "multi-view recovery)\n");
+  std::printf("%8s | %16s | %16s\n", "severity", "task-specific F1",
+              "quantized F1");
+  for (float severity : {0.0f, 0.2f, 0.35f, 0.5f, 0.65f}) {
+    const data::Dataset occluded = with_occlusion(
+        clean, severity, 57u + static_cast<uint64_t>(severity * 1000));
+    const auto ts =
+        fw.evaluate(occluded, task, core::ConfigKind::kTaskSpecific);
+    const auto q =
+        fw.evaluate(occluded, task, core::ConfigKind::kQuantizedMultiTask);
+    std::printf("%8.2f | %16.3f | %16.3f\n", severity, ts.f1, q.f1);
+  }
   bench::print_footer_note(
       "shape: both configurations hold up to ~sigma 0.1 (background texture "
       "is 0.05-0.15). Under heavy noise the task-specific relevance head "
       "collapses faster than knowledge-graph matching, which aggregates "
       "evidence across all 16 attributes — an additional robustness "
-      "argument for the quantized configuration in harsh environments.");
+      "argument for the quantized configuration in harsh environments. "
+      "Occlusion bites harder than equal-looking noise: truncation and "
+      "overlap destroy the specific pixel cues (specular streak, texture "
+      "dots, trail) the attribute heads ground to, so F1 falls roughly "
+      "linearly in severity for BOTH configurations — the single-view "
+      "deficit F8's K-view fusion then recovers.");
   return 0;
 }

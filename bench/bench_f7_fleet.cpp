@@ -217,7 +217,7 @@ int main() {
         if (r.admitted()) {
           ++admitted[static_cast<size_t>(tenant)];
           futures.push_back(std::move(*r.future));
-        } else if (r.reject == runtime::FleetReject::kTenantQuota) {
+        } else if (r.reject == runtime::RejectReason::kTenantQuota) {
           ++rejected[static_cast<size_t>(tenant)];
         }
       }

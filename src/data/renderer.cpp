@@ -248,6 +248,65 @@ void render_object(Canvas& canvas, const ObjectInstance& o) {
   render_cues(canvas, o);
 }
 
+void apply_occlusion(Scene& scene, const OcclusionOptions& options, Rng& rng) {
+  ITASK_CHECK(options.severity >= 0.0f && options.severity < 1.0f,
+              "apply_occlusion: severity must be in [0, 1)");
+  ITASK_CHECK(
+      options.truncation_prob >= 0.0f && options.truncation_prob <= 1.0f,
+      "apply_occlusion: truncation_prob must be in [0, 1]");
+  ITASK_CHECK(options.occlude_prob >= 0.0f && options.occlude_prob <= 1.0f,
+              "apply_occlusion: occlude_prob must be in [0, 1]");
+  if (options.severity == 0.0f) return;  // exact no-op, image untouched
+  ITASK_CHECK(scene.image.ndim() == 3, "apply_occlusion: scene not rendered");
+  Canvas canvas(scene.image);
+  const float size = static_cast<float>(scene.image_size);
+  for (const ObjectInstance& o : scene.objects) {
+    if (!rng.bernoulli(options.occlude_prob)) continue;
+    const BoxPx& bx = o.box;
+    const bool truncate = rng.bernoulli(options.truncation_prob);
+    // Sides: 0 = left, 1 = top, 2 = right, 3 = bottom. Truncation eats from
+    // the box's nearest image border (that is what leaving the frame looks
+    // like); overlap picks a random side.
+    int64_t side;
+    if (truncate) {
+      const float margins[4] = {bx.x0(), bx.y0(), size - bx.x1(),
+                                size - bx.y1()};
+      side = 0;
+      for (int64_t s = 1; s < 4; ++s)
+        if (margins[s] < margins[side]) side = s;
+    } else {
+      side = rng.randint(0, 3);
+    }
+    // The covered slice: `severity` of the box, measured from `side`.
+    float x0 = bx.x0(), y0 = bx.y0(), x1 = bx.x1(), y1 = bx.y1();
+    switch (side) {
+      case 0: x1 = x0 + options.severity * bx.w; break;
+      case 1: y1 = y0 + options.severity * bx.h; break;
+      case 2: x0 = x1 - options.severity * bx.w; break;
+      default: y0 = y1 - options.severity * bx.h; break;
+    }
+    if (truncate) {
+      // Revert to background: per-pixel noise drawn from render_scene's own
+      // background distribution, so a truncated slice is indistinguishable
+      // from never-rendered canvas.
+      const int64_t ix0 = static_cast<int64_t>(std::floor(x0));
+      const int64_t iy0 = static_cast<int64_t>(std::floor(y0));
+      const int64_t ix1 = static_cast<int64_t>(std::ceil(x1));
+      const int64_t iy1 = static_cast<int64_t>(std::ceil(y1));
+      for (int64_t y = iy0; y < iy1; ++y)
+        for (int64_t x = ix0; x < ix1; ++x)
+          canvas.blend(x, y, rng.uniform(0.05f, 0.15f),
+                       rng.uniform(0.05f, 0.15f), rng.uniform(0.05f, 0.15f));
+    } else {
+      // Foreign occluder: a matte gray slab with a slight cool tint, opaque
+      // enough to erase the cues underneath.
+      const float shade = rng.uniform(0.25f, 0.45f);
+      canvas.fill_rect(x0, y0, x1, y1, shade, shade,
+                       std::min(1.0f, shade + rng.uniform(0.0f, 0.06f)));
+    }
+  }
+}
+
 void render_scene(Scene& scene, Rng& rng) {
   ITASK_CHECK(scene.image_size > 0, "render_scene: scene not initialised");
   scene.image = Tensor({3, scene.image_size, scene.image_size});

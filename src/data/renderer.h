@@ -44,6 +44,28 @@ void render_object(Canvas& canvas, const ObjectInstance& object);
 /// Fills the background with low-amplitude noise, then renders all objects.
 void render_scene(Scene& scene, Rng& rng);
 
+/// Seeded partial-occlusion corruption for the F8 scenario family. Applied
+/// AFTER render_scene, purely on pixels: ground truth (scene.objects) is
+/// untouched, so occlusion degrades what the detector can see without moving
+/// the evaluation targets — the same contract as F5's additive noise.
+struct OcclusionOptions {
+  /// Fraction of each occluded object's box that gets covered, in [0, 1).
+  /// 0 is an exact no-op (the image tensor is not touched at all).
+  float severity = 0.0f;
+  /// Probability an occluded object is truncated at its nearest image border
+  /// (the covered slice reverts to background noise, as if the object left
+  /// the frame) instead of overlapped by a foreign gray slab.
+  float truncation_prob = 0.35f;
+  /// Probability each object is occluded at all.
+  float occlude_prob = 1.0f;
+};
+
+/// Covers `severity` of each selected object's box from one side: border
+/// truncation repaints the slice with the renderer's own background noise,
+/// object overlap drops a matte occluder slab over it. Deterministic in
+/// (scene, options, rng state).
+void apply_occlusion(Scene& scene, const OcclusionOptions& options, Rng& rng);
+
 /// Canonical base colour for a class (pre-jitter).
 void class_base_color(ObjectClass cls, float& r, float& g, float& b);
 

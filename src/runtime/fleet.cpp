@@ -7,16 +7,6 @@
 
 namespace itask::runtime {
 
-const char* fleet_reject_name(FleetReject reject) {
-  switch (reject) {
-    case FleetReject::kNone: return "none";
-    case FleetReject::kQueueFull: return "queue_full";
-    case FleetReject::kShuttingDown: return "shutting_down";
-    case FleetReject::kTenantQuota: return "tenant_quota";
-  }
-  return "unknown";
-}
-
 FleetRouter::FleetRouter(int64_t shards, int64_t replication)
     : shards_(shards), replication_(std::clamp<int64_t>(replication, 1, shards)) {
   ITASK_CHECK(shards >= 1, "FleetRouter: shards must be >= 1");
@@ -100,7 +90,7 @@ FleetSubmitResult InferenceFleet::try_submit(
   submitted_.increment();
   if (stopped_) {
     shutdown_rejected_.increment();
-    result.reject = FleetReject::kShuttingDown;
+    result.reject = RejectReason::kShuttingDown;
     return result;
   }
   // Fairness window: every attempt advances it (so a saturated tenant's
@@ -114,7 +104,7 @@ FleetSubmitResult InferenceFleet::try_submit(
     }
     if (window_admissions_[tenant] >= options_.tenant_quota) {
       quota_rejected_.increment();
-      result.reject = FleetReject::kTenantQuota;
+      result.reject = RejectReason::kTenantQuota;
       return result;
     }
   }
@@ -154,7 +144,7 @@ FleetSubmitResult InferenceFleet::try_submit(
     failovers_.increment();
     if (attempt.reject == RejectReason::kShuttingDown) {
       shutdown_rejected_.increment();
-      result.reject = FleetReject::kShuttingDown;
+      result.reject = RejectReason::kShuttingDown;
       return result;
     }
   }
@@ -168,7 +158,85 @@ FleetSubmitResult InferenceFleet::try_submit(
                     "snapshot containing it first)");
   }
   queue_full_rejected_.increment();
-  result.reject = FleetReject::kQueueFull;
+  result.reject = RejectReason::kQueueFull;
+  return result;
+}
+
+FleetGroupSubmitResult InferenceFleet::try_submit_group(
+    std::vector<Tensor> views, kg::TaskId task, core::ConfigKind config,
+    int64_t tenant, std::optional<int64_t> deadline_us) {
+  ITASK_CHECK(!views.empty(),
+              "InferenceFleet::try_submit_group: need at least one view");
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetGroupSubmitResult result;
+  submitted_.increment();
+  if (stopped_) {
+    shutdown_rejected_.increment();
+    result.reject = RejectReason::kShuttingDown;
+    return result;
+  }
+  // A group is ONE logical request: it advances the fairness window and
+  // consumes quota once, regardless of K — a tenant cannot stretch its
+  // bounded share by inflating view counts into admission concurrency.
+  if (options_.tenant_quota > 0) {
+    if (++window_attempts_ > options_.quota_window) {
+      window_attempts_ = 1;
+      window_admissions_.clear();
+      window_resets_.increment();
+    }
+    if (window_admissions_[tenant] >= options_.tenant_quota) {
+      quota_rejected_.increment();
+      result.reject = RejectReason::kTenantQuota;
+      return result;
+    }
+  }
+  // Same rotation + failover walk as try_submit, but the whole group moves
+  // as a unit: the views share one scene, so splitting them across shards
+  // would buy nothing and cost a cross-registry gather.
+  const std::vector<int64_t> replicas = router_.replicas(task);
+  const int64_t seq = route_seq_[task]++;
+  const int64_t r = static_cast<int64_t>(replicas.size());
+  bool any_servable = false;
+  for (int64_t k = 0; k < r; ++k) {
+    const int64_t shard_index = replicas[static_cast<size_t>((seq + k) % r)];
+    InferenceServer& server = *shards_[static_cast<size_t>(shard_index)];
+    if (!server.current_snapshot()->servable(task, config)) {
+      failovers_.increment();
+      continue;
+    }
+    any_servable = true;
+    // As in try_submit: a rejected attempt consumes its argument, so only
+    // the last candidate replica may take the views by move.
+    const bool last_candidate = k + 1 == r;
+    GroupSubmitResult attempt = server.try_submit_group(
+        last_candidate ? std::move(views) : std::vector<Tensor>(views), task,
+        config, deadline_us);
+    if (attempt.admitted()) {
+      if (options_.tenant_quota > 0) ++window_admissions_[tenant];
+      admitted_.increment();
+      result.future = std::move(attempt.future);
+      result.shard = shard_index;
+      return result;
+    }
+    failovers_.increment();
+    if (attempt.reject == RejectReason::kShuttingDown) {
+      shutdown_rejected_.increment();
+      result.reject = RejectReason::kShuttingDown;
+      return result;
+    }
+  }
+  if (!any_servable) {
+    invalid_.increment();
+    ITASK_CHECK(
+        false,
+        std::string("InferenceFleet::try_submit_group: configuration ") +
+            core::config_kind_name(config) + " cannot serve " +
+            kg::task_id_to_string(task) +
+            " on any of its replica shards (publish and roll out a "
+            "snapshot containing it first)");
+  }
+  queue_full_rejected_.increment();
+  result.reject = RejectReason::kQueueFull;
   return result;
 }
 

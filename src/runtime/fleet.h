@@ -105,18 +105,26 @@ struct FleetOptions {
   std::function<void(int64_t shard, int64_t version)> rollout_hook;
 };
 
-/// Why the fleet declined a request. kTenantQuota is the fleet-level reason
-/// the single server cannot produce; kQueueFull means every replica of the
-/// task was full (failover exhausted).
-enum class FleetReject { kNone, kQueueFull, kShuttingDown, kTenantQuota };
-
-const char* fleet_reject_name(FleetReject reject);
-
 /// try_submit outcome: the admitted request's future plus which shard took
-/// it, or the explicit reject reason.
+/// it, or the explicit reject reason. The fleet shares the server's
+/// RejectReason vocabulary (one enum, one reject_reason_name): kTenantQuota
+/// is the fleet-level reason a single server cannot produce, and kQueueFull
+/// here means every replica of the task was full (failover exhausted).
 struct FleetSubmitResult {
   std::optional<std::future<InferenceResult>> future;
-  FleetReject reject = FleetReject::kNone;
+  RejectReason reject = RejectReason::kNone;
+  int64_t shard = -1;  // the shard that admitted (−1 on reject)
+
+  bool admitted() const { return future.has_value(); }
+  explicit operator bool() const { return admitted(); }
+};
+
+/// try_submit_group outcome, mirroring FleetSubmitResult: the whole group
+/// lands on ONE shard (so its views share that shard's batcher and the
+/// gather never crosses registries), or is rejected as a unit.
+struct FleetGroupSubmitResult {
+  std::optional<std::future<GroupInferenceResult>> future;
+  RejectReason reject = RejectReason::kNone;
   int64_t shard = -1;  // the shard that admitted (−1 on reject)
 
   bool admitted() const { return future.has_value(); }
@@ -156,6 +164,35 @@ class InferenceFleet {
                                core::ConfigKind config, int64_t tenant = 0,
                                std::optional<int64_t> deadline_us =
                                    std::nullopt);
+
+  /// Convenience overload mirroring InferenceServer::try_submit: submits
+  /// against the handle's stable task id.
+  FleetSubmitResult try_submit(Tensor image, const core::TaskHandle& task,
+                               core::ConfigKind config, int64_t tenant = 0,
+                               std::optional<int64_t> deadline_us =
+                                   std::nullopt) {
+    return try_submit(std::move(image), task.id, config, tenant, deadline_us);
+  }
+
+  /// Scatter/gather twin of InferenceServer::try_submit_group. Same
+  /// admission order as try_submit (shutdown, tenant quota — one logical
+  /// request counts as ONE quota admission however many views it carries —
+  /// then replica rotation with failover past full shards); the whole group
+  /// is placed on one shard, all-or-nothing, and the returned future
+  /// resolves with that shard's fused result. Throws std::invalid_argument
+  /// when no replica can serve (task, config), exactly like try_submit.
+  FleetGroupSubmitResult try_submit_group(
+      std::vector<Tensor> views, kg::TaskId task, core::ConfigKind config,
+      int64_t tenant = 0, std::optional<int64_t> deadline_us = std::nullopt);
+
+  /// Convenience overload: submits against the handle's stable task id.
+  FleetGroupSubmitResult try_submit_group(
+      std::vector<Tensor> views, const core::TaskHandle& task,
+      core::ConfigKind config, int64_t tenant = 0,
+      std::optional<int64_t> deadline_us = std::nullopt) {
+    return try_submit_group(std::move(views), task.id, config, tenant,
+                            deadline_us);
+  }
 
   /// Staged rollout (see the file comment): asserts the version-skew
   /// tolerance contract, then installs shard-by-shard in index order,

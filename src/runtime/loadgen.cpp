@@ -75,6 +75,10 @@ std::vector<GeneratedRequest> generate_schedule(const LoadGenOptions& o,
   ITASK_CHECK(o.scenes >= 1, "generate_schedule: scenes must be >= 1");
   ITASK_CHECK(o.storm_period_us >= 0,
               "generate_schedule: storm_period_us must be >= 0");
+  ITASK_CHECK(o.group_fraction >= 0.0 && o.group_fraction <= 1.0,
+              "generate_schedule: group_fraction must be in [0, 1]");
+  ITASK_CHECK(o.group_views >= 1,
+              "generate_schedule: group_views must be >= 1");
   if (o.arrivals == ArrivalProcess::kBursty) {
     ITASK_CHECK(o.burst_factor >= 1.0,
                 "generate_schedule: burst_factor must be >= 1");
@@ -108,6 +112,13 @@ std::vector<GeneratedRequest> generate_schedule(const LoadGenOptions& o,
     req.task_index = (rank + rotation) % o.tasks;
     req.tenant = o.tenants > 1 ? rng.randint(0, o.tenants - 1) : 0;
     req.scene = o.scenes > 1 ? rng.randint(0, o.scenes - 1) : 0;
+    // Group axis last, and ONLY when enabled: a disabled knob must not
+    // consume rng draws, or every pre-existing same-seed schedule would
+    // shift.
+    if (o.group_fraction > 0.0 && rng.bernoulli(o.group_fraction)) {
+      req.views = o.group_views;
+      req.view_seed = static_cast<uint64_t>(rng.randint(0, (1 << 30)));
+    }
     schedule.push_back(req);
   }
   return schedule;

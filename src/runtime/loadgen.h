@@ -37,6 +37,11 @@ struct GeneratedRequest {
   int64_t task_index = 0;  // in [0, LoadGenOptions::tasks)
   int64_t tenant = 0;      // in [0, LoadGenOptions::tenants)
   int64_t scene = 0;       // in [0, LoadGenOptions::scenes)
+  /// Views this request carries: 1 = ordinary try_submit, >1 = a K-view
+  /// group request (try_submit_group over detect::jittered_views of the
+  /// scene, seeded by view_seed so every serving path sees identical views).
+  int64_t views = 1;
+  uint64_t view_seed = 0;
 };
 
 enum class ArrivalProcess { kPoisson, kBursty };
@@ -65,6 +70,13 @@ struct LoadGenOptions {
   /// Mission-switch storm period (µs); every elapsed period rotates the
   /// popularity-rank → task mapping by one. 0 disables storms.
   int64_t storm_period_us = 0;
+
+  /// Occlusion/collaborative scenario: fraction of requests that become
+  /// K-view group requests (views = group_views, with a fresh view_seed).
+  /// 0 (the default) draws NOTHING from the rng for this axis, so existing
+  /// schedules stay bit-identical to pre-knob ones at the same seed.
+  double group_fraction = 0.0;
+  int64_t group_views = 3;
 };
 
 /// Generates the full open-loop schedule, sorted by arrival_us. Validates

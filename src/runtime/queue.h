@@ -56,6 +56,29 @@ class BoundedQueue {
   /// push() for callers that only need admitted-or-not.
   bool try_push(T item) { return push(std::move(item)) == PushResult::kOk; }
 
+  /// All-or-nothing multi-push for scatter/gather group requests: either
+  /// every item is admitted under one lock acquisition (so views of one
+  /// group are contiguous and no interleaved producer can split them past
+  /// capacity), or none is and `items` is left untouched. A partial group in
+  /// flight with its siblings rejected would burn worker time on views whose
+  /// gather can never complete — this rules that state out by construction.
+  PushResult push_all(std::vector<T>& items) {
+    ITASK_CHECK(!items.empty(), "BoundedQueue: push_all needs >= 1 item");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (size_ + static_cast<int64_t>(items.size()) > capacity_)
+        return PushResult::kFull;
+      for (T& item : items) {
+        slots_[static_cast<size_t>((head_ + size_) % capacity_)] =
+            std::move(item);
+        ++size_;
+      }
+    }
+    ready_.notify_all();
+    return PushResult::kOk;
+  }
+
   /// Drains one micro-batch: blocks until an item arrives (or the queue
   /// closes), then gathers up to `max_items`, waiting at most `max_wait`
   /// after the first item before closing the batch. Returns an empty vector

@@ -15,6 +15,7 @@ const char* reject_reason_name(RejectReason reason) {
     case RejectReason::kNone: return "none";
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kTenantQuota: return "tenant_quota";
   }
   return "unknown";
 }
@@ -37,6 +38,10 @@ InferenceServer::InferenceServer(
       snapshots_published_(metrics_.counter("snapshots_published")),
       tasks_onboarded_(metrics_.counter("tasks_onboarded")),
       snapshot_version_skew_(metrics_.counter("snapshot_version_skew")),
+      groups_submitted_(metrics_.counter("groups_submitted")),
+      groups_completed_(metrics_.counter("groups_completed")),
+      groups_failed_(metrics_.counter("groups_failed")),
+      group_fuse_h_(metrics_.histogram("group_fuse_us")),
       snapshot_(std::move(snapshot)) {
   ITASK_CHECK(snapshot_ != nullptr,
               "InferenceServer: snapshot must not be null");
@@ -179,6 +184,177 @@ SubmitResult InferenceServer::try_submit(Tensor image, kg::TaskId task,
   return result;
 }
 
+GroupSubmitResult InferenceServer::try_submit_group(
+    std::vector<Tensor> views, kg::TaskId task, core::ConfigKind config,
+    std::optional<int64_t> deadline_us) {
+  const int64_t k = static_cast<int64_t>(views.size());
+  ITASK_CHECK(k >= 1, "try_submit_group: need at least one view");
+  // A group larger than the queue could never be admitted whole; that is a
+  // configuration error, not transient backpressure.
+  ITASK_CHECK(k <= options_.queue_capacity,
+              "try_submit_group: " + fmt::i64(k) +
+                  " views can never fit the admission queue (capacity " +
+                  fmt::i64(options_.queue_capacity) + ")");
+  // Per-view admission validation, against ONE snapshot acquisition — the
+  // same contract as try_submit, checked before anything is queued so a
+  // malformed view rejects the whole logical request at the edge.
+  const std::shared_ptr<const core::DeploymentSnapshot> snapshot =
+      current_snapshot();
+  const Shape& expected = snapshot->expected_input_shape();
+  for (int64_t v = 0; v < k; ++v) {
+    if (views[static_cast<size_t>(v)].shape() != expected) {
+      requests_invalid_.increment();
+      ITASK_CHECK(
+          false,
+          "try_submit_group: view " + fmt::i64(v) + " shape " +
+              shape_to_string(views[static_cast<size_t>(v)].shape()) +
+              " does not match the deployment's expected [C, H, W] shape " +
+              shape_to_string(expected));
+    }
+  }
+  if (!snapshot->servable(task, config)) {
+    requests_invalid_.increment();
+    ITASK_CHECK(false,
+                std::string("try_submit_group: configuration ") +
+                    core::config_kind_name(config) + " cannot serve " +
+                    kg::task_id_to_string(task) + " from snapshot v" +
+                    fmt::i64(snapshot->version()) +
+                    " (publish and install a snapshot containing it first)");
+  }
+  const int64_t effective_deadline_us =
+      deadline_us.value_or(options_.deadline_us);
+  ITASK_CHECK(effective_deadline_us >= 0,
+              "try_submit_group: deadline_us must be >= 0");
+
+  auto gather = std::make_shared<GroupGather>();
+  gather->group_id = next_group_id_.fetch_add(1, std::memory_order_relaxed);
+  gather->admitted_us = clock_();
+  gather->fusion = options_.fusion;
+  gather->views.resize(static_cast<size_t>(k));
+  gather->remaining = k;
+
+  // Each view becomes an ordinary Pending riding the ordinary hot path; the
+  // gather pointer is the only thing marking it as a group member.
+  std::vector<Pending> members;
+  members.reserve(static_cast<size_t>(k));
+  for (int64_t v = 0; v < k; ++v) {
+    Pending pending;
+    pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    pending.image = std::move(views[static_cast<size_t>(v)]);
+    pending.task = task;
+    pending.config = config;
+    pending.admitted_us = gather->admitted_us;
+    pending.admitted_version = snapshot->version();
+    if (effective_deadline_us > 0) {
+      pending.deadline_us = gather->admitted_us + effective_deadline_us;
+    }
+    pending.group = gather;
+    pending.view_index = v;
+    members.push_back(std::move(pending));
+  }
+  GroupSubmitResult result;
+  result.future = gather->promise.get_future();
+  // All-or-nothing: either every view is queued contiguously under one lock
+  // or none is — a partially admitted group (siblings rejected, gather never
+  // completable) cannot exist.
+  switch (queue_.push_all(members)) {
+    case PushResult::kFull:
+      rejected_queue_full_.increment();
+      result.future.reset();
+      result.reject = RejectReason::kQueueFull;
+      return result;
+    case PushResult::kClosed:
+      rejected_shutdown_.increment();
+      result.future.reset();
+      result.reject = RejectReason::kShuttingDown;
+      return result;
+    case PushResult::kOk:
+      break;
+  }
+  groups_submitted_.increment();
+  requests_submitted_.increment(k);
+  return result;
+}
+
+void InferenceServer::deliver(Pending& pending, InferenceResult&& result) {
+  if (!pending.group) {
+    pending.promise.set_value(std::move(result));
+    return;
+  }
+  const std::shared_ptr<GroupGather> gather = pending.group;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(gather->mu);
+    gather->views[static_cast<size_t>(pending.view_index)] = std::move(result);
+    last = --gather->remaining == 0;
+  }
+  if (last) finish_group(gather);
+}
+
+void InferenceServer::deliver_error(Pending& pending,
+                                    const std::exception_ptr& error,
+                                    const std::string& what) {
+  if (!pending.group) {
+    pending.promise.set_exception(error);
+    return;
+  }
+  const std::shared_ptr<GroupGather> gather = pending.group;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(gather->mu);
+    ++gather->failed_views;
+    // The *lowest* failed view index wins the headline, not whichever
+    // failure arrived first — keeps the reported fault deterministic under
+    // any worker interleaving.
+    if (gather->first_failed_view < 0 ||
+        pending.view_index < gather->first_failed_view) {
+      gather->first_failed_view = pending.view_index;
+      gather->first_error = what;
+    }
+    last = --gather->remaining == 0;
+  }
+  if (last) finish_group(gather);
+}
+
+void InferenceServer::finish_group(
+    const std::shared_ptr<GroupGather>& gather) {
+  // Sole owner of the finish: remaining hit 0 under gather->mu, so every
+  // sibling's deposit happened-before this read and no lock is needed.
+  const int64_t k = static_cast<int64_t>(gather->views.size());
+  if (gather->failed_views > 0) {
+    groups_failed_.increment();
+    gather->promise.set_exception(std::make_exception_ptr(GroupViewFault(
+        "group " + fmt::i64(gather->group_id) + ": " +
+            fmt::i64(gather->failed_views) + " of " + fmt::i64(k) +
+            " views failed (first: view " +
+            fmt::i64(gather->first_failed_view) + ": " + gather->first_error +
+            ")",
+        gather->first_failed_view, gather->failed_views)));
+    return;
+  }
+  // Fusion runs here, on the worker that delivered the last view — after
+  // that worker's arena epilogue and with no ArenaScope bound, so the fused
+  // Detections are heap-backed and the allocation-free hot-path contract is
+  // untouched by group traffic.
+  const int64_t fuse_start_us = clock_();
+  std::vector<std::vector<detect::Detection>> per_view;
+  per_view.reserve(static_cast<size_t>(k));
+  for (const InferenceResult& r : gather->views) {
+    per_view.push_back(r.detections);
+  }
+  GroupInferenceResult out;
+  out.group_id = gather->group_id;
+  out.fused = detect::fuse_views(per_view, gather->fusion);
+  out.view_count = k;
+  const int64_t fuse_end_us = clock_();
+  out.fuse_us = span_us(fuse_start_us, fuse_end_us);
+  out.total_us = span_us(gather->admitted_us, fuse_end_us);
+  out.views = std::move(gather->views);
+  groups_completed_.increment();
+  group_fuse_h_.record(out.fuse_us);
+  gather->promise.set_value(std::move(out));
+}
+
 void InferenceServer::shutdown() {
   if (stopped_.exchange(true)) return;
   queue_.close();  // admission stops; workers drain what was accepted
@@ -244,10 +420,11 @@ void InferenceServer::worker_loop(int64_t worker_index) {
       // non-negative integer-µs span (no double→int truncation, no
       // negative value if clock readings ever raced).
       const int64_t waited_us = std::max<int64_t>(0, picked_us - p.admitted_us);
-      p.promise.set_exception(std::make_exception_ptr(
-          DeadlineExceeded("request " + std::to_string(p.id) +
-                           " expired after " + fmt::i64(waited_us) +
-                           " us in queue")));
+      const std::string what = "request " + std::to_string(p.id) +
+                               " expired after " + fmt::i64(waited_us) +
+                               " us in queue";
+      deliver_error(p,
+                    std::make_exception_ptr(DeadlineExceeded(what)), what);
       // Expired requests never reach inference: account their queue-wait
       // stage (the only real span), not a garbage end-to-end latency.
       StageTimeline t;
@@ -343,9 +520,16 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         infer_end_us = clock_();
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
+        std::string what = "unknown error";
+        try {
+          std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
         for (const size_t member : group) {
           Pending& p = batch[member];
-          p.promise.set_exception(error);
+          deliver_error(p, error, what);
           failed.increment();
           // The fault hit somewhere in batch formation or inference, so the
           // queue-wait span is the only one known to be real.
@@ -396,7 +580,9 @@ void InferenceServer::worker_loop(int64_t worker_index) {
         total_h.record(result.total_us);
         stages_.completed(t);
         completed.increment();
-        p.promise.set_value(std::move(result));
+        // Group views gather here instead of resolving their own future; the
+        // last view's deliver runs fusion — after the arena epilogue above.
+        deliver(p, std::move(result));
         done[group[g]] = 1;
       }
     }

@@ -62,6 +62,7 @@
 
 #include "core/itask.h"
 #include "core/snapshot.h"
+#include "detect/fusion.h"
 #include "runtime/clock.h"
 #include "runtime/metrics.h"
 #include "runtime/queue.h"
@@ -75,6 +76,29 @@ class DeadlineExceeded : public std::runtime_error {
  public:
   explicit DeadlineExceeded(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Delivered on a group request's future when at least one of its K views
+/// failed (inference fault or deadline shed). The group fails as a unit —
+/// fused output over a partial view set would silently change the evidence
+/// denominator — while sibling requests in the same micro-batch are
+/// unaffected (the PR 3 per-group isolation contract, view-granular here).
+class GroupViewFault : public std::runtime_error {
+ public:
+  GroupViewFault(const std::string& what, int64_t first_failed_view,
+                 int64_t failed_views)
+      : std::runtime_error(what),
+        first_failed_view_(first_failed_view),
+        failed_views_(failed_views) {}
+
+  /// Lowest view index that failed (deterministic, not arrival order).
+  int64_t first_failed_view() const { return first_failed_view_; }
+  /// How many of the K views failed.
+  int64_t failed_views() const { return failed_views_; }
+
+ private:
+  int64_t first_failed_view_ = -1;
+  int64_t failed_views_ = 0;
 };
 
 /// Identifies one (configuration, task) group of a micro-batch — the unit of
@@ -130,6 +154,11 @@ struct RuntimeOptions {
   /// changes where intermediates live, never the arithmetic. Off = every
   /// intermediate heap-allocates as before (the bench_f6_runtime A/B).
   bool use_arena = true;
+  /// Cross-view fusion parameters for try_submit_group gathers
+  /// (detect::fuse_views). Fusion runs on the worker delivering a group's
+  /// last view, after that worker's arena epilogue — outside the ArenaScope
+  /// and off the allocation-metered hot path by construction.
+  detect::FusionOptions fusion;
 };
 
 /// Everything a client learns about one completed request. The stage spans
@@ -148,8 +177,12 @@ struct InferenceResult {
   StageTimeline timeline;   // the raw clock readings behind the spans
 };
 
-/// Why try_submit declined a request. kNone means it was admitted.
-enum class RejectReason { kNone, kQueueFull, kShuttingDown };
+/// Why a submission was declined; kNone means it was admitted. Shared by
+/// every admission surface — InferenceServer::try_submit / try_submit_group
+/// and the fleet twins — so callers branch on one vocabulary.
+/// kTenantQuota is produced only by the fleet's per-tenant admission quota;
+/// from a fleet, kQueueFull means every candidate replica was full.
+enum class RejectReason { kNone, kQueueFull, kShuttingDown, kTenantQuota };
 
 const char* reject_reason_name(RejectReason reason);
 
@@ -159,6 +192,30 @@ const char* reject_reason_name(RejectReason reason);
 /// old bare optional that conflated the two.
 struct SubmitResult {
   std::optional<std::future<InferenceResult>> future;
+  RejectReason reject = RejectReason::kNone;
+
+  bool admitted() const { return future.has_value(); }
+  explicit operator bool() const { return admitted(); }
+};
+
+/// What a group request's future resolves to: the fused detections plus the
+/// per-view results (index = view index) the gather assembled them from.
+/// `fused` is a pure function of the per-view detection multisets
+/// (detect::fuse_views), so it is element-wise identical whether the views
+/// were served by one server, a fleet shard at any geometry, or fused
+/// serially outside the runtime.
+struct GroupInferenceResult {
+  int64_t group_id = -1;
+  std::vector<detect::Detection> fused;
+  std::vector<InferenceResult> views;  // one per view, in view order
+  int64_t view_count = 0;
+  double fuse_us = 0.0;   // gather fusion span (outside the arena scope)
+  double total_us = 0.0;  // group admission → fused result ready
+};
+
+/// The typed outcome of try_submit_group, mirroring SubmitResult.
+struct GroupSubmitResult {
+  std::optional<std::future<GroupInferenceResult>> future;
   RejectReason reject = RejectReason::kNone;
 
   bool admitted() const { return future.has_value(); }
@@ -211,6 +268,28 @@ class InferenceServer {
     return try_submit(std::move(image), task.id, config, deadline_us);
   }
 
+  /// Scatter/gather submit of ONE logical request carrying K views of the
+  /// same scene. Admission is all-or-nothing (one atomic multi-push: the
+  /// whole group is queued or the whole group is rejected); each view then
+  /// rides the ordinary batcher/arena hot path as an independent work item —
+  /// workers are group-oblivious — and the worker completing the LAST view
+  /// fuses the per-view detections (RuntimeOptions::fusion, outside its
+  /// ArenaScope) and resolves the single future. Validation is per view
+  /// (shape + servable, as try_submit); `deadline_us` applies to every view,
+  /// and any view failing (fault or deadline shed) fails the group with
+  /// GroupViewFault while sibling requests are unaffected.
+  GroupSubmitResult try_submit_group(
+      std::vector<Tensor> views, kg::TaskId task, core::ConfigKind config,
+      std::optional<int64_t> deadline_us = std::nullopt);
+
+  /// Convenience overload: submits against the handle's stable task id.
+  GroupSubmitResult try_submit_group(
+      std::vector<Tensor> views, const core::TaskHandle& task,
+      core::ConfigKind config,
+      std::optional<int64_t> deadline_us = std::nullopt) {
+    return try_submit_group(std::move(views), task.id, config, deadline_us);
+  }
+
   /// Graceful shutdown: stops admission, drains every queued request
   /// (all outstanding futures are fulfilled), joins the workers. Idempotent;
   /// also run by the destructor.
@@ -222,6 +301,23 @@ class InferenceServer {
   const RuntimeOptions& options() const { return options_; }
 
  private:
+  /// Gather state shared by the K views of one group request. Workers
+  /// deposit each view's outcome under `mu`; whoever decrements `remaining`
+  /// to zero owns the finish (fuse or fail) — the mutex's release/acquire
+  /// chain makes every sibling's deposit visible to the finisher.
+  struct GroupGather {
+    int64_t group_id = -1;
+    int64_t admitted_us = 0;
+    detect::FusionOptions fusion;
+    std::mutex mu;
+    std::vector<InferenceResult> views;  // indexed by view_index
+    int64_t remaining = 0;
+    int64_t failed_views = 0;
+    int64_t first_failed_view = -1;  // lowest failed view index
+    std::string first_error;         // what() of that view's failure
+    std::promise<GroupInferenceResult> promise;
+  };
+
   struct Pending {
     int64_t id = -1;
     Tensor image;                        // [C, H, W]
@@ -236,9 +332,23 @@ class InferenceServer {
     /// silent: served-version != admitted_version counts snapshot_version_
     /// skew, the fleet's staged-rollout observability signal.
     int64_t admitted_version = 0;
+    /// Group membership: null for ordinary requests. A group view's
+    /// `promise` is never used — its outcome routes into the gather instead.
+    std::shared_ptr<GroupGather> group;
+    int64_t view_index = 0;
   };
 
   void worker_loop(int64_t worker_index);
+  /// Fulfillment seams every worker outcome routes through: an ordinary
+  /// request resolves its own promise; a group view deposits into the gather
+  /// and the last one runs finish_group. Never called with an ArenaScope
+  /// bound — and the fusing finish (all K views succeeded, so the last
+  /// delivery was a success delivery) specifically runs only from the
+  /// post-arena-epilogue fulfillment loop.
+  void deliver(Pending& pending, InferenceResult&& result);
+  void deliver_error(Pending& pending, const std::exception_ptr& error,
+                     const std::string& what);
+  void finish_group(const std::shared_ptr<GroupGather>& gather);
 
   RuntimeOptions options_;
   ClockFn clock_;
@@ -257,7 +367,12 @@ class InferenceServer {
   Counter& snapshots_published_;
   Counter& tasks_onboarded_;
   Counter& snapshot_version_skew_;
+  Counter& groups_submitted_;
+  Counter& groups_completed_;
+  Counter& groups_failed_;
+  Histogram& group_fuse_h_;
   std::atomic<int64_t> next_id_{0};
+  std::atomic<int64_t> next_group_id_{0};
   // The current snapshot, guarded by a mutex rather than an atomic
   // shared_ptr: acquisition is once per micro-batch (not per request), so
   // the lock is uncontended and trivially TSan-clean.

@@ -293,6 +293,94 @@ TEST(Dataset, EmptyBatchThrows) {
   EXPECT_THROW(ds.make_batch(none), std::invalid_argument);
 }
 
+TEST(Occlusion, SeededDeterministicAndSeverityZeroIsExactNoOp) {
+  GeneratorOptions opt;
+  SceneGenerator gen(opt);
+  Rng scene_rng(31);
+  const Scene clean = gen.generate(scene_rng);
+
+  // severity = 0: byte-identical image, whatever the rng state.
+  {
+    Scene s(clean);
+    Rng rng(5);
+    apply_occlusion(s, OcclusionOptions{}, rng);
+    const auto a = s.image.data();
+    const auto b = clean.image.data();
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+
+  // Same (scene, options, seed) → byte-identical occluded image; a
+  // different seed diverges (the corruption actually draws).
+  OcclusionOptions occ;
+  occ.severity = 0.5f;
+  Scene s1(clean);
+  Scene s2(clean);
+  Scene s3(clean);
+  Rng r1(9);
+  Rng r2(9);
+  Rng r3(10);
+  apply_occlusion(s1, occ, r1);
+  apply_occlusion(s2, occ, r2);
+  apply_occlusion(s3, occ, r3);
+  const auto p1 = s1.image.data();
+  const auto p2 = s2.image.data();
+  const auto p3 = s3.image.data();
+  bool changed = false;
+  bool seeds_differ = false;
+  const auto base = clean.image.data();
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i], p2[i]);
+    changed = changed || p1[i] != base[i];
+    seeds_differ = seeds_differ || p1[i] != p3[i];
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(seeds_differ);
+  // Pixels stay valid image values.
+  for (float v : p1) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Occlusion, GroundTruthUntouchedAndOptionsValidated) {
+  GeneratorOptions opt;
+  SceneGenerator gen(opt);
+  Rng scene_rng(32);
+  const Scene clean = gen.generate(scene_rng);
+
+  Scene occluded(clean);
+  OcclusionOptions occ;
+  occ.severity = 0.6f;
+  Rng rng(4);
+  apply_occlusion(occluded, occ, rng);
+  // Occlusion corrupts pixels only: every labelled object keeps its box,
+  // class, cell and attributes — evaluation targets never move.
+  ASSERT_EQ(occluded.objects.size(), clean.objects.size());
+  for (size_t i = 0; i < clean.objects.size(); ++i) {
+    EXPECT_EQ(occluded.objects[i].cls, clean.objects[i].cls);
+    EXPECT_EQ(occluded.objects[i].cell, clean.objects[i].cell);
+    EXPECT_EQ(occluded.objects[i].box.cx, clean.objects[i].box.cx);
+    EXPECT_EQ(occluded.objects[i].box.cy, clean.objects[i].box.cy);
+    EXPECT_EQ(occluded.objects[i].box.w, clean.objects[i].box.w);
+    EXPECT_EQ(occluded.objects[i].box.h, clean.objects[i].box.h);
+    EXPECT_TRUE(
+        occluded.objects[i].attributes.allclose(clean.objects[i].attributes,
+                                                0.0f));
+  }
+
+  Scene victim(clean);
+  OcclusionOptions bad;
+  bad.severity = 1.0f;  // must stay < 1: a fully covered object is deletion
+  EXPECT_THROW(apply_occlusion(victim, bad, rng), std::invalid_argument);
+  bad = {};
+  bad.severity = 0.5f;
+  bad.truncation_prob = -0.1f;
+  EXPECT_THROW(apply_occlusion(victim, bad, rng), std::invalid_argument);
+  bad.truncation_prob = 0.5f;
+  bad.occlude_prob = 1.5f;
+  EXPECT_THROW(apply_occlusion(victim, bad, rng), std::invalid_argument);
+}
+
 TEST(Dataset, FewShotSamplerReturnsRelevantScenes) {
   GeneratorOptions opt;
   SceneGenerator gen(opt);

@@ -2077,18 +2077,18 @@ TEST_F(RuntimeServing, FleetQuotaRejectionAccountingAndWindowReset) {
     return r.reject;
   };
   // Tenant 7 saturates its quota: 3 admitted, then kTenantQuota.
-  for (int i = 0; i < 3; ++i) EXPECT_EQ(submit(7), FleetReject::kNone);
-  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
-  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(submit(7), RejectReason::kNone);
+  EXPECT_EQ(submit(7), RejectReason::kTenantQuota);
+  EXPECT_EQ(submit(7), RejectReason::kTenantQuota);
   EXPECT_EQ(fleet.tenant_window_admissions(7), 3);
   // Fairness: a light tenant keeps landing while 7 is capped.
-  EXPECT_EQ(submit(8), FleetReject::kNone);
+  EXPECT_EQ(submit(8), RejectReason::kNone);
   EXPECT_EQ(fleet.tenant_window_admissions(8), 1);
   // Attempts so far: 6. Two more rejected attempts fill the window of 8;
   // the next attempt rolls it and tenant 7's fairness counter resets.
-  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
-  EXPECT_EQ(submit(7), FleetReject::kTenantQuota);
-  EXPECT_EQ(submit(7), FleetReject::kNone);  // fresh window
+  EXPECT_EQ(submit(7), RejectReason::kTenantQuota);
+  EXPECT_EQ(submit(7), RejectReason::kTenantQuota);
+  EXPECT_EQ(submit(7), RejectReason::kNone);  // fresh window
   EXPECT_EQ(fleet.tenant_window_admissions(7), 1);
 
   EXPECT_EQ(fleet.metrics().counter("fleet_quota_rejected").value(), 4);
@@ -2224,7 +2224,7 @@ TEST_F(RuntimeServing, FleetServesIdenticallyThroughStagedRollout) {
       if (r.admitted()) {
         streamed.push_back(Streamed{std::move(*r.future), scene, config});
       } else {
-        EXPECT_EQ(r.reject, FleetReject::kQueueFull);
+        EXPECT_EQ(r.reject, RejectReason::kQueueFull);
         std::this_thread::yield();
       }
     }
@@ -2330,9 +2330,556 @@ TEST_F(RuntimeServing, FleetValidatesOptionsAndShardAccess) {
   const FleetSubmitResult r = fleet.try_submit(
       eval_->scene(0).image, task_->id, ConfigKind::kQuantizedMultiTask);
   EXPECT_FALSE(r.admitted());
-  EXPECT_EQ(r.reject, FleetReject::kShuttingDown);
-  EXPECT_EQ(fleet_reject_name(FleetReject::kTenantQuota),
+  EXPECT_EQ(r.reject, RejectReason::kShuttingDown);
+  EXPECT_EQ(reject_reason_name(RejectReason::kTenantQuota),
             std::string("tenant_quota"));
+}
+
+// ------------------------------------------------------ cross-view fusion ----
+
+// Synthetic detection for the fusion unit tests: everything fusion reads,
+// with distinct per-field values so byte-identity checks are meaningful.
+detect::Detection make_det(float confidence, int64_t cls, float cx, float cy,
+                           float w, float h, int64_t cell = 0) {
+  detect::Detection d;
+  d.box = {cx, cy, w, h};
+  d.cell = cell;
+  d.predicted_class = cls;
+  d.objectness = confidence * 0.9f;
+  d.task_score = confidence * 0.8f;
+  d.confidence = confidence;
+  d.attr_probs = Tensor({2}, {confidence * 0.5f, 1.0f - confidence * 0.5f});
+  d.class_probs = Tensor({3}, {0.1f, 0.2f, 0.7f});
+  return d;
+}
+
+void expect_byte_identical_fused(const std::vector<detect::Detection>& a,
+                                 const std::vector<detect::Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell, b[i].cell);
+    EXPECT_EQ(a[i].predicted_class, b[i].predicted_class);
+    EXPECT_EQ(a[i].objectness, b[i].objectness);
+    EXPECT_EQ(a[i].task_score, b[i].task_score);
+    EXPECT_EQ(a[i].confidence, b[i].confidence);
+    EXPECT_EQ(a[i].box.cx, b[i].box.cx);
+    EXPECT_EQ(a[i].box.cy, b[i].box.cy);
+    EXPECT_EQ(a[i].box.w, b[i].box.w);
+    EXPECT_EQ(a[i].box.h, b[i].box.h);
+  }
+}
+
+TEST(Fusion, InvariantToViewArrivalOrderAndEqualConfidenceShuffles) {
+  // Three views of the same scene: a well-supported object near (8, 8), a
+  // second object near (18, 6), and equal-confidence near-duplicates within
+  // one view — the tie case an unstable order would scramble. Fused output
+  // must be byte-identical under any permutation of views AND any
+  // permutation of the detections inside each view.
+  std::vector<std::vector<detect::Detection>> views(3);
+  views[0] = {make_det(0.9f, 1, 8.0f, 8.0f, 6.0f, 6.0f, 5),
+              make_det(0.6f, 2, 18.0f, 6.0f, 4.0f, 4.0f, 7),
+              make_det(0.6f, 2, 18.5f, 6.0f, 4.0f, 4.0f, 8)};  // equal conf
+  views[1] = {make_det(0.8f, 1, 8.5f, 8.2f, 6.0f, 6.0f, 5),
+              make_det(0.55f, 2, 18.2f, 6.1f, 4.0f, 4.0f, 7)};
+  views[2] = {make_det(0.85f, 1, 7.8f, 8.1f, 6.2f, 6.0f, 5)};
+
+  const detect::FusionOptions options;
+  const auto baseline = detect::fuse_views(views, options);
+  ASSERT_FALSE(baseline.empty());
+
+  Rng rng(4242);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::vector<detect::Detection>> shuffled = views;
+    rng.shuffle(shuffled);                           // view arrival order
+    for (auto& view : shuffled) rng.shuffle(view);   // within-view order
+    expect_byte_identical_fused(detect::fuse_views(shuffled, options),
+                                baseline);
+  }
+}
+
+TEST(Fusion, SupportDividesByViewCountAndMinViewsDropsPhantoms) {
+  // An object seen by all 3 views keeps its confidence; a single-view
+  // phantom is divided down by the missing evidence; min_views = 2 removes
+  // it entirely.
+  std::vector<std::vector<detect::Detection>> views(3);
+  views[0] = {make_det(0.9f, 1, 8.0f, 8.0f, 6.0f, 6.0f),
+              make_det(0.9f, 2, 18.0f, 18.0f, 4.0f, 4.0f)};  // phantom
+  views[1] = {make_det(0.9f, 1, 8.0f, 8.0f, 6.0f, 6.0f)};
+  views[2] = {make_det(0.9f, 1, 8.0f, 8.0f, 6.0f, 6.0f)};
+
+  const auto fused = detect::fuse_views(views);
+  ASSERT_EQ(fused.size(), 2u);
+  // detection_order: the supported object (0.9) ranks above the phantom.
+  EXPECT_EQ(fused[0].predicted_class, 1);
+  EXPECT_FLOAT_EQ(fused[0].confidence, 0.9f);  // (0.9 * 3) / 3
+  EXPECT_EQ(fused[1].predicted_class, 2);
+  EXPECT_FLOAT_EQ(fused[1].confidence, 0.3f);  // (0.9 * 1) / 3
+  // Identical per-view boxes: the weighted mean must reproduce them exactly.
+  EXPECT_FLOAT_EQ(fused[0].box.cx, 8.0f);
+  EXPECT_FLOAT_EQ(fused[0].box.w, 6.0f);
+
+  detect::FusionOptions strict;
+  strict.min_views = 2;
+  const auto supported = detect::fuse_views(views, strict);
+  ASSERT_EQ(supported.size(), 1u);
+  EXPECT_EQ(supported[0].predicted_class, 1);
+}
+
+TEST(Fusion, SingleViewDegeneratesToNms) {
+  // K = 1 must reproduce the single-view pipeline bit-for-bit: fusion is
+  // NMS plus a division by K = 1. (min_views clamps to the view count, so
+  // even min_views = 3 cannot drop everything.)
+  std::vector<detect::Detection> view = {
+      make_det(0.9f, 1, 8.0f, 8.0f, 6.0f, 6.0f, 5),
+      make_det(0.7f, 1, 8.4f, 8.2f, 6.0f, 6.0f, 6),   // suppressed by NMS
+      make_det(0.6f, 2, 18.0f, 6.0f, 4.0f, 4.0f, 7)};
+  detect::FusionOptions options;
+  options.min_views = 3;  // clamped to K = 1
+  expect_byte_identical_fused(detect::fuse_views({view}, options),
+                              detect::nms(view, options.nms_iou));
+}
+
+TEST(Fusion, JitteredViewsSeededCleanFirstViewAndValidation) {
+  Tensor image({3, 4, 4});
+  Rng fill(5);
+  for (float& v : image.data()) v = fill.uniform(0.0f, 1.0f);
+
+  const auto views = detect::jittered_views(image, 3, 0.05f, 77);
+  ASSERT_EQ(views.size(), 3u);
+  // View 0 is the clean image; later views differ (sigma > 0).
+  EXPECT_EQ(views[0].data()[0], image.data()[0]);
+  EXPECT_NE(views[1].data()[0], image.data()[0]);
+  // Same (image, K, sigma, seed) → byte-identical views on every call: the
+  // property that lets serial, single-server, and fleet paths materialize
+  // the same group request.
+  const auto again = detect::jittered_views(image, 3, 0.05f, 77);
+  for (size_t v = 0; v < views.size(); ++v) {
+    const auto a = views[v].data();
+    const auto b = again[v].data();
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+
+  EXPECT_THROW(detect::jittered_views(image, 0, 0.05f, 1),
+               std::invalid_argument);
+  EXPECT_THROW(detect::jittered_views(image, 2, -1.0f, 1),
+               std::invalid_argument);
+  EXPECT_THROW(detect::fuse_views({}), std::invalid_argument);
+  detect::FusionOptions bad;
+  bad.merge_iou = 1.0f;
+  EXPECT_THROW(detect::fuse_views({{}}, bad), std::invalid_argument);
+  bad = {};
+  bad.min_views = 0;
+  EXPECT_THROW(detect::fuse_views({{}}, bad), std::invalid_argument);
+}
+
+TEST(BoundedQueue, PushAllAdmitsAtomicallyOrNotAtAll) {
+  BoundedQueue<int> q(4);
+  std::vector<int> three{1, 2, 3};
+  EXPECT_EQ(q.push_all(three), PushResult::kOk);
+  EXPECT_EQ(q.size(), 3);
+  // 3 + 2 > 4: rejected whole, nothing enqueued, items left intact.
+  std::vector<int> two{4, 5};
+  EXPECT_EQ(q.push_all(two), PushResult::kFull);
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(two[0], 4);
+  EXPECT_EQ(two[1], 5);
+  // Exactly filling the remaining capacity is admitted.
+  std::vector<int> one{6};
+  EXPECT_EQ(q.push_all(one), PushResult::kOk);
+  EXPECT_EQ(q.size(), 4);
+  const auto batch = q.pop_batch(8, kNoWait);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[3], 6);
+  q.close();
+  std::vector<int> late{7};
+  EXPECT_EQ(q.push_all(late), PushResult::kClosed);
+  std::vector<int> empty;
+  EXPECT_THROW(q.push_all(empty), std::invalid_argument);
+}
+
+// ------------------------------------------------ group requests (serving) ----
+
+TEST_F(RuntimeServing, GroupSubmitFusedMatchesSerialFusionBothConfigs) {
+  // The scatter/gather contract end to end: a K-view group request's fused
+  // detections are element-wise identical to fusing the K per-view serial
+  // results outside the runtime — for both deployable configurations, while
+  // ordinary sibling requests interleave in the same batcher.
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  opts.max_wait_us = 300;
+  opts.queue_capacity = 64;
+  InferenceServer server(*snap_, opts);
+
+  for (const ConfigKind config :
+       {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+    std::vector<std::future<GroupInferenceResult>> groups;
+    std::vector<std::future<InferenceResult>> singles;
+    constexpr int64_t kViews = 3;
+    for (int64_t i = 0; i < 6; ++i) {
+      auto views = detect::jittered_views(eval_->scene(i).image, kViews,
+                                          0.05f, 900 + (uint64_t)i);
+      auto g = server.try_submit_group(std::move(views), *task_, config);
+      ASSERT_TRUE(g.admitted());
+      groups.push_back(std::move(*g.future));
+      auto s = server.try_submit(eval_->scene(i).image, *task_, config);
+      ASSERT_TRUE(s.admitted());
+      singles.push_back(std::move(*s.future));
+    }
+    for (int64_t i = 0; i < 6; ++i) {
+      GroupInferenceResult g = groups[static_cast<size_t>(i)].get();
+      EXPECT_EQ(g.view_count, kViews);
+      ASSERT_EQ(g.views.size(), static_cast<size_t>(kViews));
+      // Serial fusion over per-view serial detections.
+      const auto views = detect::jittered_views(eval_->scene(i).image, kViews,
+                                                0.05f, 900 + (uint64_t)i);
+      std::vector<std::vector<detect::Detection>> per_view;
+      for (const Tensor& v : views) {
+        per_view.push_back(fw_->detect(v, *task_, config));
+      }
+      for (int64_t v = 0; v < kViews; ++v) {
+        expect_same_detections(g.views[static_cast<size_t>(v)].detections,
+                               per_view[static_cast<size_t>(v)]);
+      }
+      expect_same_detections(
+          g.fused, detect::fuse_views(per_view, server.options().fusion));
+      // Interleaved ordinary traffic is untouched by group machinery.
+      expect_same_detections(
+          singles[static_cast<size_t>(i)].get().detections,
+          fw_->detect(eval_->scene(i).image, *task_, config));
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(server.metrics().counter("groups_submitted").value(), 12);
+  EXPECT_EQ(server.metrics().counter("groups_completed").value(), 12);
+  EXPECT_EQ(server.metrics().counter("groups_failed").value(), 0);
+  // Each group contributed its K views to the ordinary request counters.
+  EXPECT_EQ(server.metrics().counter("requests_submitted").value(),
+            12 * 3 + 12);
+  EXPECT_EQ(server.metrics().histogram("group_fuse_us").snapshot().count, 12);
+}
+
+TEST_F(RuntimeServing, GroupFleetFusedIdenticalAtAnyShardCount) {
+  // The fleet twin inherits the whole contract: fused detections are
+  // element-wise identical to serial fusion at every shard count, and the
+  // group lands on exactly one shard of the task's replica set.
+  const auto snapshot = fw_->publish();
+  constexpr int64_t kViews = 3;
+  for (const int64_t shards : {int64_t{1}, int64_t{2}, int64_t{3}}) {
+    FleetOptions fo;
+    fo.shards = shards;
+    fo.replication = 2;
+    fo.shard_options.workers = 2;
+    fo.shard_options.max_batch = 4;
+    fo.shard_options.max_wait_us = 300;
+    InferenceFleet fleet(snapshot, fo);
+    const std::vector<int64_t> replicas = fleet.router().replicas(task_->id);
+
+    std::vector<std::future<GroupInferenceResult>> futures;
+    for (int64_t i = 0; i < 6; ++i) {
+      const ConfigKind config = (i % 2 == 0)
+                                    ? ConfigKind::kTaskSpecific
+                                    : ConfigKind::kQuantizedMultiTask;
+      auto views = detect::jittered_views(eval_->scene(i).image, kViews,
+                                          0.05f, 500 + (uint64_t)i);
+      FleetGroupSubmitResult r =
+          fleet.try_submit_group(std::move(views), task_->id, config);
+      ASSERT_TRUE(r.admitted());
+      EXPECT_NE(std::find(replicas.begin(), replicas.end(), r.shard),
+                replicas.end());
+      futures.push_back(std::move(*r.future));
+    }
+    fleet.shutdown();
+    for (int64_t i = 0; i < 6; ++i) {
+      const ConfigKind config = (i % 2 == 0)
+                                    ? ConfigKind::kTaskSpecific
+                                    : ConfigKind::kQuantizedMultiTask;
+      const auto views = detect::jittered_views(eval_->scene(i).image, kViews,
+                                                0.05f, 500 + (uint64_t)i);
+      std::vector<std::vector<detect::Detection>> per_view;
+      for (const Tensor& v : views) {
+        per_view.push_back(fw_->detect(v, *task_, config));
+      }
+      expect_same_detections(
+          futures[static_cast<size_t>(i)].get().fused,
+          detect::fuse_views(per_view,
+                             fo.shard_options.fusion));
+    }
+  }
+}
+
+TEST_F(RuntimeServing, GroupFaultIsolationFailsOnlyTheGroup) {
+  // A fault in ONE view's inference fails the whole logical group — typed
+  // as GroupViewFault naming the lowest failed view — while a sibling
+  // ordinary request in the same server (and later groups) are unaffected.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;  // one view per micro-batch → the injector can target
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 64;
+  std::atomic<int64_t> injections{0};
+  opts.fault_injector = [&injections](const FaultSite& site) {
+    // Request ids 0..2 are the first group's views; fail view 1 only.
+    if (site.first_request_id == 1) {
+      injections.fetch_add(1);
+      throw std::runtime_error("injected view fault");
+    }
+  };
+  InferenceServer server(*snap_, opts);
+
+  auto views = detect::jittered_views(eval_->scene(0).image, 3, 0.05f, 31);
+  auto g = server.try_submit_group(std::move(views), *task_,
+                                   ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(g.admitted());
+  auto s = server.try_submit(eval_->scene(1).image, *task_,
+                             ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(s.admitted());
+
+  // The sibling ordinary request is untouched.
+  expect_same_detections(s.future->get().detections,
+                         fw_->detect(eval_->scene(1).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+  // A later group on the same still-running server completes normally.
+  auto views2 = detect::jittered_views(eval_->scene(2).image, 2, 0.05f, 32);
+  auto g2 = server.try_submit_group(std::move(views2), *task_,
+                                    ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(g2.admitted());
+  EXPECT_EQ(g2.future->get().view_count, 2);
+  // Read the typed fault AFTER shutdown: the worker's release of its last
+  // gather reference is then joined, so inspecting the rethrown exception's
+  // internals (what(), a COW string inside uninstrumented libstdc++) is
+  // TSan-visibly ordered. The synchronization while serving is the atomic
+  // exception_ptr refcount, which TSan cannot see into.
+  server.shutdown();
+  try {
+    g.future->get();
+    FAIL() << "group with a faulted view must not resolve with a value";
+  } catch (const GroupViewFault& fault) {
+    EXPECT_EQ(fault.first_failed_view(), 1);
+    EXPECT_EQ(fault.failed_views(), 1);
+    EXPECT_NE(std::string(fault.what()).find("injected view fault"),
+              std::string::npos);
+  }
+
+  EXPECT_EQ(injections.load(), 1);
+  EXPECT_EQ(server.metrics().counter("groups_failed").value(), 1);
+  EXPECT_EQ(server.metrics().counter("groups_completed").value(), 1);
+  EXPECT_EQ(server.metrics().counter("requests_failed").value(), 1);
+}
+
+TEST_F(RuntimeServing, GroupDeadlineShedFailsTypedWhileSiblingServes) {
+  // Stall the only worker on an ordinary no-deadline request, queue a group
+  // with a 2 ms deadline plus a generous-deadline sibling, release after the
+  // deadline passed: every view of the group is shed at batch formation and
+  // the group future fails as GroupViewFault (the DeadlineExceeded cause in
+  // its message), while the sibling serves.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 64;
+  std::atomic<bool> release{false};
+  opts.fault_injector = [&release](const FaultSite& site) {
+    if (site.first_request_id == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  InferenceServer server(*snap_, opts);
+
+  auto stall = server.try_submit(eval_->scene(0).image, *task_,
+                                 ConfigKind::kQuantizedMultiTask,
+                                 /*deadline_us=*/0);
+  ASSERT_TRUE(stall.admitted());
+  auto views = detect::jittered_views(eval_->scene(1).image, 3, 0.05f, 41);
+  auto g = server.try_submit_group(std::move(views), *task_,
+                                   ConfigKind::kQuantizedMultiTask,
+                                   /*deadline_us=*/2000);
+  ASSERT_TRUE(g.admitted());
+  auto s = server.try_submit(eval_->scene(2).image, *task_,
+                             ConfigKind::kQuantizedMultiTask,
+                             /*deadline_us=*/60'000'000);
+  ASSERT_TRUE(s.admitted());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // > 2 ms
+  release.store(true);
+  server.shutdown();
+
+  try {
+    g.future->get();
+    FAIL() << "expired group must not resolve with a value";
+  } catch (const GroupViewFault& fault) {
+    EXPECT_EQ(fault.first_failed_view(), 0);
+    EXPECT_EQ(fault.failed_views(), 3);
+    EXPECT_NE(std::string(fault.what()).find("expired"), std::string::npos);
+  }
+  expect_same_detections(s.future->get().detections,
+                         fw_->detect(eval_->scene(2).image, *task_,
+                                     ConfigKind::kQuantizedMultiTask));
+  EXPECT_EQ(server.metrics().counter("requests_expired").value(), 3);
+  EXPECT_EQ(server.metrics().counter("groups_failed").value(), 1);
+  EXPECT_EQ(server.metrics().counter("groups_completed").value(), 0);
+}
+
+TEST_F(RuntimeServing, GroupAdmissionValidatesAndRejectsAtomically) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.queue_capacity = 4;
+  std::atomic<bool> release{false};
+  opts.fault_injector = [&release](const FaultSite& site) {
+    if (site.first_request_id == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  InferenceServer server(*snap_, opts);
+
+  // Malformed groups throw at admission, like try_submit.
+  EXPECT_THROW(server.try_submit_group({}, *task_,
+                                       ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+  std::vector<Tensor> bad;
+  bad.push_back(eval_->scene(0).image);
+  bad.push_back(Tensor({3, 2, 2}));  // wrong shape, view index 1
+  EXPECT_THROW(server.try_submit_group(std::move(bad), *task_,
+                                       ConfigKind::kQuantizedMultiTask),
+               std::invalid_argument);
+  // A group that could never fit the queue is a configuration error.
+  EXPECT_THROW(
+      server.try_submit_group(
+          detect::jittered_views(eval_->scene(0).image, 5, 0.05f, 1), *task_,
+          ConfigKind::kQuantizedMultiTask),
+      std::invalid_argument);
+  EXPECT_EQ(server.metrics().counter("requests_invalid").value(), 1);
+
+  // Backpressure is all-or-nothing: stall the worker, fill the queue to 2 of
+  // 4, then a 3-view group must reject whole (kQueueFull) without enqueuing
+  // any view; a 2-view group still fits.
+  auto stall = server.try_submit(eval_->scene(0).image, *task_,
+                                 ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(stall.admitted());  // picked up by the worker, then stalls
+  std::vector<std::future<InferenceResult>> fillers;
+  // Wait for the worker to take the stall request off the queue.
+  while (server.metrics().counter("batches").value() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto f = server.try_submit(eval_->scene(1).image, *task_,
+                               ConfigKind::kQuantizedMultiTask);
+    ASSERT_TRUE(f.admitted());
+    fillers.push_back(std::move(*f.future));
+  }
+  auto too_big = server.try_submit_group(
+      detect::jittered_views(eval_->scene(2).image, 3, 0.05f, 2), *task_,
+      ConfigKind::kQuantizedMultiTask);
+  EXPECT_FALSE(too_big.admitted());
+  EXPECT_EQ(too_big.reject, RejectReason::kQueueFull);
+  auto fits = server.try_submit_group(
+      detect::jittered_views(eval_->scene(2).image, 2, 0.05f, 2), *task_,
+      ConfigKind::kQuantizedMultiTask);
+  ASSERT_TRUE(fits.admitted());
+  release.store(true);
+  server.shutdown();
+  EXPECT_EQ(fits.future->get().view_count, 2);
+
+  // After shutdown: kShuttingDown, again as a unit.
+  auto late = server.try_submit_group(
+      detect::jittered_views(eval_->scene(0).image, 2, 0.05f, 3), *task_,
+      ConfigKind::kQuantizedMultiTask);
+  EXPECT_FALSE(late.admitted());
+  EXPECT_EQ(late.reject, RejectReason::kShuttingDown);
+  EXPECT_EQ(server.metrics().counter("rejected_queue_full").value(), 1);
+  EXPECT_EQ(server.metrics().counter("rejected_shutdown").value(), 1);
+}
+
+TEST_F(RuntimeServing, GroupArenaZeroSteadyStateAllocationsWithGroupTraffic) {
+  // The allocation-free hot-path contract survives group traffic: views ride
+  // the same arena-scoped region as ordinary requests, and fusion runs
+  // outside it — so after warmup, steady-state group serving adds ZERO heap
+  // allocations to the metered region.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.max_wait_us = 50000;
+  opts.queue_capacity = 64;
+  InferenceServer server(*snap_, opts);
+  const auto drive = [&](int64_t rounds) {
+    for (int64_t r = 0; r < rounds; ++r) {
+      for (const ConfigKind config :
+           {ConfigKind::kTaskSpecific, ConfigKind::kQuantizedMultiTask}) {
+        // One 4-view group = one full homogeneous micro-batch.
+        auto g = server.try_submit_group(
+            detect::jittered_views(eval_->scene(0).image, opts.max_batch,
+                                   0.05f, 60 + (uint64_t)r),
+            *task_, config);
+        ASSERT_TRUE(g.admitted());
+        EXPECT_EQ(g.future->get().view_count, opts.max_batch);
+      }
+    }
+  };
+  drive(2);  // warmup
+  const int64_t warm = server.metrics().counter("hot_path_allocs").value();
+  EXPECT_LE(warm, 64);
+  drive(4);  // steady state
+  EXPECT_EQ(server.metrics().counter("hot_path_allocs").value(), warm)
+      << "group serving heap-allocated in the hot path after warmup";
+  EXPECT_EQ(server.metrics().counter("arena_overflow_allocs").value(), 0);
+  EXPECT_EQ(server.metrics().counter("groups_completed").value(), 12);
+}
+
+TEST(LoadGen, GroupKnobSeededAndDrawsNothingWhenOff) {
+  // Off by default: every request is single-view with view_seed 0, and the
+  // schedule is bit-identical to one generated before the knob existed
+  // (fraction 0 consumes no rng draws).
+  LoadGenOptions o;
+  o.requests = 256;
+  o.rate_rps = 2000.0;
+  o.tasks = 4;
+  o.tenants = 3;
+  o.scenes = 8;
+  Rng off_rng(99);
+  const auto off = generate_schedule(o, off_rng);
+  for (const GeneratedRequest& r : off) {
+    EXPECT_EQ(r.views, 1);
+    EXPECT_EQ(r.view_seed, 0u);
+  }
+
+  // On: deterministic per seed, the marked fraction carries group_views.
+  o.group_fraction = 0.4;
+  o.group_views = 3;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const auto a = generate_schedule(o, rng_a);
+  const auto b = generate_schedule(o, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  int64_t grouped = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].views, b[i].views);
+    EXPECT_EQ(a[i].view_seed, b[i].view_seed);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].task_index, b[i].task_index);
+    if (a[i].views > 1) {
+      EXPECT_EQ(a[i].views, o.group_views);
+      ++grouped;
+    } else {
+      EXPECT_EQ(a[i].view_seed, 0u);
+    }
+  }
+  // ~40% of 256, loosely bracketed.
+  EXPECT_GT(grouped, 64);
+  EXPECT_LT(grouped, 144);
+
+  o.group_fraction = 1.5;
+  Rng bad_rng(1);
+  EXPECT_THROW(generate_schedule(o, bad_rng), std::invalid_argument);
+  o.group_fraction = 0.5;
+  o.group_views = 0;
+  EXPECT_THROW(generate_schedule(o, bad_rng), std::invalid_argument);
 }
 
 }  // namespace
